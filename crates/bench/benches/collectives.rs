@@ -1,0 +1,54 @@
+//! Thread-rank collective throughput: allreduce and group broadcast across
+//! world sizes (the substrate under every K-FAC communication stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kaisa_comm::{Communicator, ReduceOp, ThreadComm};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(20);
+    for world in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| {
+                ThreadComm::run(world, |comm| {
+                    let mut buf = vec![comm.rank() as f32; 16 * 1024];
+                    comm.allreduce(&mut buf, ReduceOp::Avg);
+                    buf[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjoint_broadcasts(c: &mut Criterion) {
+    // The HYBRID-OPT pattern: disjoint groups broadcasting concurrently vs
+    // one world-wide broadcast (MEM-OPT).
+    let mut group = c.benchmark_group("broadcast_pattern");
+    group.sample_size(20);
+    group.bench_function("mem_opt_world8", |b| {
+        b.iter(|| {
+            ThreadComm::run(8, |comm| {
+                let mut buf = vec![1.0f32; 16 * 1024];
+                comm.broadcast(&mut buf, 0);
+                buf[0]
+            })
+        })
+    });
+    group.bench_function("hybrid_4_groups_of_2", |b| {
+        b.iter(|| {
+            ThreadComm::run(8, |comm| {
+                let r = comm.rank();
+                let root = r - (r % 2);
+                let group = [root, root + 1];
+                let mut buf = vec![1.0f32; 16 * 1024];
+                comm.broadcast_group(&mut buf, root, &group);
+                buf[0]
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_disjoint_broadcasts);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Symmetric eigendecomposition cost across factor sizes — the O(N³)
+//! scaling that KAISA's LPT work distribution assumes (paper Section 3.2),
+//! and eigendecomposition vs. Cholesky-based direct inversion (the Section
+//! 2.1.3 design choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kaisa_linalg::{spd_inverse, sym_eig};
+use kaisa_tensor::{Matrix, Rng};
+
+fn random_factor(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    let a = Matrix::randn(n, n, 1.0, &mut rng);
+    let mut s = a.matmul_tn(&a);
+    s.scale(1.0 / n as f32);
+    s.add_diag(0.01);
+    s
+}
+
+fn bench_eigen_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eig");
+    for n in [16usize, 32, 64, 128, 256] {
+        let m = random_factor(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| sym_eig(m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen_vs_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_vs_inverse");
+    let n = 96;
+    let m = random_factor(n, 7);
+    group.bench_function("sym_eig_96", |b| b.iter(|| sym_eig(&m).unwrap()));
+    group.bench_function("spd_inverse_96", |b| b.iter(|| spd_inverse(&m).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigen_sizes, bench_eigen_vs_inverse);
+criterion_main!(benches);

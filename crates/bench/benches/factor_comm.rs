@@ -1,0 +1,35 @@
+//! The Section 4.3 ablation: triangular vs. full factor communication —
+//! packing halves the payload but adds extract/reconstruct overhead, which
+//! the paper found unprofitable on latency-bound networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kaisa_linalg::{pack_upper, unpack_upper};
+use kaisa_tensor::{Matrix, Rng};
+
+fn symmetric(n: usize) -> Matrix {
+    let mut rng = Rng::seed_from_u64(n as u64);
+    let a = Matrix::randn(n, n, 1.0, &mut rng);
+    a.matmul_tn(&a)
+}
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangular_pack");
+    for n in [64usize, 256, 1024] {
+        let m = symmetric(n);
+        group.bench_with_input(BenchmarkId::new("pack", n), &m, |b, m| {
+            b.iter(|| pack_upper(m))
+        });
+        let packed = pack_upper(&m);
+        group.bench_with_input(BenchmarkId::new("unpack", n), &packed, |b, packed| {
+            b.iter(|| unpack_upper(packed, n))
+        });
+        // The full-matrix alternative: a plain copy of n² floats.
+        group.bench_with_input(BenchmarkId::new("full_copy", n), &m, |b, m| {
+            b.iter(|| m.as_slice().to_vec())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack_unpack);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! GEMM kernel throughput: the plain, transposed-A (factor statistics), and
+//! transposed-B (forward pass) variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kaisa_tensor::{Matrix, Rng};
+
+fn bench_gemm_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nn_square");
+    for n in [32usize, 64, 128, 256] {
+        let mut rng = Rng::seed_from_u64(n as u64);
+        let a = Matrix::randn(n, n, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a.matmul(b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_factor_statistic(c: &mut Criterion) {
+    // The K-FAC hot path: aᵀa over a batch of activations.
+    let mut group = c.benchmark_group("factor_statistic_ata");
+    for (rows, dim) in [(128usize, 64usize), (512, 128), (1024, 256)] {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = Matrix::randn(rows, dim, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * rows * dim * dim) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{dim}")),
+            &a,
+            |bench, a| bench.iter(|| a.matmul_tn(a)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_square, bench_factor_statistic);
+criterion_main!(benches);

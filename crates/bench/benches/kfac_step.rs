@@ -1,0 +1,47 @@
+//! End-to-end `KFAC.step()` cost for the three distribution strategies,
+//! plus the update-interval amortization (K-FAC steps on non-update
+//! iterations must be far cheaper than eigendecomposition iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kaisa_comm::LocalComm;
+use kaisa_core::{Kfac, KfacConfig};
+use kaisa_nn::models::Mlp;
+use kaisa_nn::Model;
+use kaisa_tensor::{Matrix, Rng};
+
+fn bench_step_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kfac_step");
+    group.sample_size(30);
+    let mut rng = Rng::seed_from_u64(61);
+    let x = Matrix::randn(64, 64, 1.0, &mut rng);
+    let y: Vec<usize> = (0..64).map(|i| i % 8).collect();
+
+    // Update-interval ablation: every-step updates vs amortized updates.
+    for (label, f_freq, k_freq) in
+        [("update_every_step", 1usize, 1usize), ("amortized_10_100", 10, 100)]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(f_freq, k_freq),
+            |b, &(f_freq, k_freq)| {
+                let comm = LocalComm::new();
+                let mut model = Mlp::new(&[64, 96, 8], &mut Rng::seed_from_u64(62));
+                let cfg = KfacConfig::builder()
+                    .factor_update_freq(f_freq)
+                    .inv_update_freq(k_freq)
+                    .build();
+                let mut kfac = Kfac::new(cfg, &mut model, &comm);
+                b.iter(|| {
+                    kfac.prepare(&mut model);
+                    model.zero_grad();
+                    let _ = model.forward_backward(&x, &y);
+                    kfac.step(&mut model, &comm, 0.1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_costs);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! The Section 3.2 ablation: longest-processing-time eigendecomposition
+//! placement vs. round-robin — scheduling cost and resulting makespan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kaisa_core::{plan_assignments, AssignmentStrategy};
+
+fn layer_dims(layers: usize) -> Vec<(usize, usize)> {
+    (0..layers).map(|i| (32 + 97 * (i % 11), 16 + 53 * (i % 7))).collect()
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_assignments");
+    for layers in [54usize, 144, 512] {
+        let dims = layer_dims(layers);
+        group.bench_with_input(BenchmarkId::new("lpt", layers), &dims, |b, dims| {
+            b.iter(|| plan_assignments(dims, 64, 1.0, AssignmentStrategy::ComputeLpt))
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", layers), &dims, |b, dims| {
+            b.iter(|| plan_assignments(dims, 64, 1.0, AssignmentStrategy::RoundRobin))
+        });
+    }
+    group.finish();
+}
+
+fn report_makespans(c: &mut Criterion) {
+    // Not a timing benchmark: print the makespan quality difference once so
+    // `cargo bench` output records the ablation result.
+    let dims = layer_dims(144);
+    let lpt = plan_assignments(&dims, 64, 1.0, AssignmentStrategy::ComputeLpt);
+    let rr = plan_assignments(&dims, 64, 1.0, AssignmentStrategy::RoundRobin);
+    println!(
+        "\nLPT makespan {:.3e} vs round-robin {:.3e} ({}% better)\n",
+        lpt.makespan(),
+        rr.makespan(),
+        ((1.0 - lpt.makespan() / rr.makespan()) * 100.0).round()
+    );
+    // Keep criterion happy with a trivial measurement.
+    c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+}
+
+criterion_group!(benches, bench_planning, report_makespans);
+criterion_main!(benches);

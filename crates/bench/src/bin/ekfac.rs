@@ -1,0 +1,81 @@
+//! Extension experiment: EK-FAC (eigenvalue-corrected K-FAC, George et al.
+//! 2018) under KAISA's distribution framework.
+//!
+//! The paper's Related Work singles out EK-FAC as a variant KAISA's "unified
+//! design paradigm can be applied to". This binary runs K-FAC and EK-FAC
+//! head-to-head with identical hyperparameters and distribution settings on
+//! the spiral-classification task and reports epochs-to-target.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin ekfac
+//! ```
+
+use kaisa_bench::render_table;
+use kaisa_core::KfacConfig;
+use kaisa_data::SpiralDataset;
+use kaisa_nn::models::Mlp;
+use kaisa_optim::{LrSchedule, Sgd};
+use kaisa_tensor::Rng;
+use kaisa_trainer::{train_distributed, TrainConfig};
+
+fn main() {
+    println!("EK-FAC extension — eigenvalue-corrected K-FAC under KAISA's framework\n");
+    let (train, val) = SpiralDataset::generate(600, 6, 2, 0.05, 73).split_fifth();
+    let target = 0.93f32;
+
+    let mut rows = Vec::new();
+    for (label, kfac) in [
+        ("SGD", None),
+        (
+            "KAISA (K-FAC)",
+            Some(KfacConfig::builder().factor_update_freq(5).inv_update_freq(10).build()),
+        ),
+        (
+            "KAISA (EK-FAC)",
+            Some(
+                KfacConfig::builder()
+                    .factor_update_freq(5)
+                    .inv_update_freq(10)
+                    .ekfac(true)
+                    .build(),
+            ),
+        ),
+    ] {
+        let cfg = TrainConfig {
+            epochs: 40,
+            local_batch: 24,
+            schedule: LrSchedule::Constant { lr: 0.25 },
+            kfac,
+            target_metric: Some(target),
+            seed: 5,
+            ..Default::default()
+        };
+        let r = train_distributed(
+            2,
+            || Mlp::new(&[6, 24, 24, 2], &mut Rng::seed_from_u64(15)),
+            || Sgd::with_momentum(0.9),
+            &train,
+            &val,
+            &cfg,
+        );
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", r.best_metric()),
+            r.epochs_to_metric(target)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "never".to_string()),
+            format!("{:.1}", r.total_seconds),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["optimizer", "best val acc", &format!("epochs to {target}"), "wall s"],
+            &rows
+        )
+    );
+    println!("\nEK-FAC refreshes the diagonal scaling every step in the cached");
+    println!("eigenbasis (a cheap partial update), so it tolerates staler");
+    println!("eigendecompositions than plain K-FAC — the property that motivated");
+    println!("the variant. Both run under identical HYBRID-OPT distribution.");
+}

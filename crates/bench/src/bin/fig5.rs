@@ -1,0 +1,213 @@
+//! Figure 5: validation-metric curves, baseline optimizer vs. KAISA, for the
+//! ResNet (a), Mask R-CNN (b), and U-Net (c) analogues.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin fig5            # all panels
+//! cargo run --release -p kaisa-bench --bin fig5 -- resnet  # one panel
+//! ```
+
+use kaisa_bench::render_table;
+use kaisa_core::KfacConfig;
+use kaisa_data::{BlobSegmentation, Dataset, PatternImages};
+use kaisa_nn::models::{ResNetMini, ResNetMiniConfig, RoiHeadMini, RoiTargets, UNetMini};
+use kaisa_nn::Model;
+use kaisa_optim::{Adam, LrSchedule, Optimizer, Sgd};
+use kaisa_tensor::{Matrix, Rng};
+use kaisa_trainer::{train_distributed, TrainConfig, TrainResult};
+
+fn print_panel(name: &str, metric_name: &str, target: f32, base: &TrainResult, kfac: &TrainResult) {
+    println!("--- Figure 5{name}: baseline vs KAISA ({metric_name}, target {target}) ---");
+    let rows: Vec<Vec<String>> = base
+        .epochs
+        .iter()
+        .zip(&kfac.epochs)
+        .map(|(b, k)| {
+            vec![
+                b.epoch.to_string(),
+                format!("{:.3}", b.val_metric),
+                format!("{:.3}", k.val_metric),
+                format!("{:.1}", b.cumulative_seconds),
+                format!("{:.1}", k.cumulative_seconds),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["epoch", "baseline", "KAISA", "base s", "KAISA s"],
+            &rows
+        )
+    );
+    let b = base.converged;
+    let k = kfac.converged;
+    println!("time to target: baseline {b:?}, KAISA {k:?}");
+    if let (Some((be, bs)), Some((ke, ks))) = (b, k) {
+        println!(
+            "KAISA: {:.0}% fewer epochs, {:.0}% less wall time\n",
+            100.0 * (be as f64 - ke as f64) / (be.max(1)) as f64,
+            100.0 * (bs - ks) / bs.max(1e-9)
+        );
+    } else {
+        println!();
+    }
+}
+
+fn panel_resnet() {
+    let train = PatternImages::generate(384, 3, 12, 8, 0.8, 110);
+    let val = PatternImages::generate(128, 3, 12, 8, 0.8, 111);
+    let model_cfg = ResNetMiniConfig {
+        in_channels: 3,
+        width: 4,
+        blocks_stage1: 1,
+        blocks_stage2: 1,
+        classes: 8,
+    };
+    let target = 0.9f32;
+    let run = |kfac: Option<KfacConfig>| {
+        let cfg = TrainConfig {
+            epochs: 14,
+            local_batch: 16,
+            schedule: LrSchedule::Warmup { lr: 0.03, warmup: 10 },
+            kfac,
+            target_metric: Some(target),
+            seed: 20,
+            ..Default::default()
+        };
+        train_distributed(
+            2,
+            || ResNetMini::new(model_cfg, &mut Rng::seed_from_u64(21)),
+            || Sgd::with_momentum(0.9),
+            &train,
+            &val,
+            &cfg,
+        )
+    };
+    let base = run(None);
+    let kfac = run(Some(
+        KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build(),
+    ));
+    print_panel("(a) ResNet", "val accuracy", target, &base, &kfac);
+}
+
+fn panel_maskrcnn() {
+    // The ROI-head analogue: a shared-FC detection head on synthetic pooled
+    // features; the metric is classification accuracy (the bbox-mAP proxy).
+    let mut rng = Rng::seed_from_u64(112);
+    let feat = 16usize;
+    let classes = 4usize;
+    let centers = Matrix::randn(classes, feat, 1.0, &mut rng);
+    let make_set = |n: usize, rng: &mut Rng| {
+        let mut x = Matrix::zeros(n, feat);
+        let mut cls = Vec::new();
+        let mut boxes = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let c = i % classes;
+            cls.push(c);
+            for j in 0..feat {
+                x.set(i, j, centers.get(c, j) + 1.3 * rng.normal());
+            }
+            for j in 0..4 {
+                boxes.set(i, j, 0.5 * centers.get(c, j) + 0.05 * rng.normal());
+            }
+        }
+        (x, RoiTargets { classes: cls, boxes })
+    };
+    let (train_x, train_y) = make_set(512, &mut rng);
+    let (val_x, val_y) = make_set(128, &mut rng);
+    let target = 0.9f32;
+
+    let run = |kfac_cfg: Option<KfacConfig>| -> Vec<(usize, f32, f64)> {
+        let comm = kaisa_comm::LocalComm::new();
+        let mut model = RoiHeadMini::new(feat, 24, classes, &mut Rng::seed_from_u64(23));
+        let mut opt = Sgd::with_momentum(0.9);
+        let mut kfac = kfac_cfg.map(|c| kaisa_core::Kfac::new(c, &mut model, &comm));
+        let start = std::time::Instant::now();
+        let mut curve = Vec::new();
+        for epoch in 0..16 {
+            for chunk in (0..512).collect::<Vec<usize>>().chunks(32) {
+                let lo = chunk[0];
+                let hi = lo + chunk.len();
+                let x = train_x.rows_slice(lo, hi);
+                let y = RoiTargets {
+                    classes: train_y.classes[lo..hi].to_vec(),
+                    boxes: train_y.boxes.rows_slice(lo, hi),
+                };
+                if let Some(kfac) = &kfac {
+                    kfac.prepare(&mut model);
+                }
+                model.zero_grad();
+                let _ = model.forward_backward(&x, &y);
+                if let Some(kfac) = &mut kfac {
+                    kfac.step(&mut model, &comm, 0.004);
+                }
+                opt.step_model(&mut model, 0.004);
+            }
+            let v = model.evaluate(&val_x, &val_y);
+            curve.push((epoch, v.metric, start.elapsed().as_secs_f64()));
+        }
+        curve
+    };
+    let base = run(None);
+    let kfac = run(Some(
+        KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build(),
+    ));
+    println!("--- Figure 5(b) Mask R-CNN ROI head: SGD vs KAISA (cls acc, target {target}) ---");
+    let rows: Vec<Vec<String>> = base
+        .iter()
+        .zip(&kfac)
+        .map(|((e, bm, _), (_, km, _))| {
+            vec![e.to_string(), format!("{bm:.3}"), format!("{km:.3}")]
+        })
+        .collect();
+    println!("{}", render_table(&["epoch", "SGD", "KAISA"], &rows));
+    let b_conv = base.iter().find(|(_, m, _)| *m >= target).map(|(e, _, _)| *e);
+    let k_conv = kfac.iter().find(|(_, m, _)| *m >= target).map(|(e, _, _)| *e);
+    println!("epochs to target: SGD {b_conv:?}, KAISA {k_conv:?}\n");
+}
+
+fn panel_unet() {
+    let train = BlobSegmentation::generate(192, 16, 0.7, 113);
+    let val = BlobSegmentation::generate(48, 16, 0.7, 114);
+    let _ = val.len();
+    let target = 0.8f32;
+    let run = |kfac: Option<KfacConfig>| {
+        let cfg = TrainConfig {
+            epochs: 14,
+            local_batch: 8,
+            schedule: LrSchedule::Constant { lr: 8e-4 },
+            kfac,
+            target_metric: Some(target),
+            seed: 24,
+            eval_batch: 16,
+            ..Default::default()
+        };
+        train_distributed(
+            2,
+            || UNetMini::new(1, 4, &mut Rng::seed_from_u64(25)),
+            Adam::new,
+            &train,
+            &val,
+            &cfg,
+        )
+    };
+    let base = run(None);
+    let kfac = run(Some(
+        KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build(),
+    ));
+    print_panel("(c) U-Net", "val DSC", target, &base, &kfac);
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    println!("Figure 5 — convergence curves, baseline optimizer vs KAISA\n");
+    match which.as_str() {
+        "resnet" => panel_resnet(),
+        "maskrcnn" => panel_maskrcnn(),
+        "unet" => panel_unet(),
+        _ => {
+            panel_resnet();
+            panel_maskrcnn();
+            panel_unet();
+        }
+    }
+}

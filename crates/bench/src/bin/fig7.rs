@@ -1,0 +1,92 @@
+//! Figure 7: per-stage time inside `KFAC.step()` across `grad_worker_frac`
+//! — simulated for ResNet-50 on 64 V100s, and measured live from the
+//! preconditioner's stage timers on 8 thread ranks.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin fig7
+//! ```
+
+use kaisa_bench::render_table;
+use kaisa_comm::{Communicator, ThreadComm};
+use kaisa_core::{Kfac, KfacConfig, KFAC_STAGES};
+use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
+use kaisa_nn::models::Mlp;
+use kaisa_nn::Model;
+use kaisa_sim::experiments::{fig7, FIG6_FRACS};
+use kaisa_tensor::Rng;
+
+fn simulated() {
+    println!("== Simulated (ResNet-50, 64 x V100), ms per average iteration ==\n");
+    let rows = fig7();
+    let mut table = Vec::new();
+    for stage in [
+        "compute factors",
+        "communicate factors",
+        "compute eigendecomp",
+        "communicate eigendecomp",
+        "precondition gradient",
+        "communicate gradient",
+        "scale and update grads",
+    ] {
+        let mut row = vec![stage.to_string()];
+        for &frac in &FIG6_FRACS {
+            let v = rows
+                .iter()
+                .find(|r| r.stage == stage && (r.frac - frac).abs() < 1e-12)
+                .map(|r| r.seconds)
+                .unwrap_or(0.0);
+            row.push(format!("{:.2}", v * 1e3));
+        }
+        table.push(row);
+    }
+    let mut header: Vec<String> = vec!["stage".into()];
+    header.extend(FIG6_FRACS.iter().map(|f| format!("{f:.3}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &table));
+    println!("(gradient broadcast falls to 0 at frac=1 while preconditioning rises — Figure 7's tradeoff)\n");
+}
+
+fn live() {
+    println!("== Live stage timers (MLP on 8 thread ranks), ms per step ==\n");
+    let world = 8;
+    let dataset = GaussianBlobs::generate(512, 32, 4, 0.4, 130);
+    let mut table: Vec<Vec<String>> = KFAC_STAGES.iter().map(|s| vec![s.to_string()]).collect();
+    let fracs = [1.0 / 8.0, 0.5, 1.0];
+    for &frac in &fracs {
+        let mut results = ThreadComm::run(world, |comm| {
+            let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
+            let cfg = KfacConfig::builder()
+                .grad_worker_frac(frac)
+                .factor_update_freq(5)
+                .inv_update_freq(10)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut model, comm);
+            let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
+            for epoch in 0..3 {
+                for indices in sampler.epoch_batches(epoch) {
+                    let (x, y) = dataset.batch(&indices);
+                    kfac.prepare(&mut model);
+                    model.zero_grad();
+                    let _ = model.forward_backward(&x, &y);
+                    kaisa_trainer::allreduce_gradients(&mut model, comm, 1);
+                    kfac.step(&mut model, comm, 0.05);
+                }
+            }
+            kfac.stage_times().averages()
+        });
+        let avgs = results.swap_remove(0);
+        for (row, avg) in table.iter_mut().zip(avgs) {
+            row.push(format!("{:.3}", avg * 1e3));
+        }
+    }
+    let mut header: Vec<String> = vec!["stage".into()];
+    header.extend(fracs.iter().map(|f| format!("frac {f:.3}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &table));
+}
+
+fn main() {
+    println!("Figure 7 — time per KFAC.step() section vs grad_worker_frac\n");
+    simulated();
+    live();
+}

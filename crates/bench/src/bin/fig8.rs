@@ -1,0 +1,45 @@
+//! Figure 8: projected end-to-end speedup over the baseline optimizer for
+//! MEM-OPT / HYBRID-OPT / COMM-OPT at 8–128 simulated A100 GPUs.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin fig8
+//! ```
+
+use kaisa_bench::{render_table, sparkline};
+use kaisa_sim::experiments::{fig8, FIG8_SCALES};
+
+fn main() {
+    println!("Figure 8 — projected end-to-end speedup on DGX-A100 nodes\n");
+    let rows = fig8();
+    for app in ["ResNet-50", "BERT-Large"] {
+        println!(
+            "--- {app} (baseline: {}) ---",
+            if app == "ResNet-50" { "momentum SGD, 90 vs 55 epochs" } else { "Fused LAMB, 1563 vs 800 steps" }
+        );
+        let mut table = Vec::new();
+        for strategy in ["MEM-OPT", "HYBRID-OPT", "COMM-OPT"] {
+            let series: Vec<f64> = FIG8_SCALES
+                .iter()
+                .map(|&s| {
+                    rows.iter()
+                        .find(|r| r.app == app && r.strategy == strategy && r.scale == s)
+                        .map(|r| r.speedup)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            let mut row = vec![strategy.to_string()];
+            row.extend(series.iter().map(|v| format!("{v:.2}x")));
+            row.push(sparkline(&series));
+            table.push(row);
+        }
+        let mut header: Vec<String> = vec!["strategy".into()];
+        header.extend(FIG8_SCALES.iter().map(|s| format!("{s} GPUs")));
+        header.push("trend".into());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        println!("{}\n", render_table(&header_refs, &table));
+    }
+    println!("Shape checks (paper Section 5.6):");
+    println!(" * COMM-OPT's speedup margin over MEM-OPT grows with scale;");
+    println!(" * HYBRID-OPT tracks COMM-OPT while caching half the eigendecompositions;");
+    println!(" * BERT-Large speedups exceed ResNet-50's and are strategy-insensitive.");
+}

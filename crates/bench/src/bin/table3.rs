@@ -1,0 +1,102 @@
+//! Table 3: BERT pretraining — LAMB to convergence vs. KAISA at reduced
+//! iteration budgets, reporting metric / iterations / time.
+//!
+//! The paper pretrains BERT-Large phase 2 with LAMB for 1,536 iterations and
+//! shows KAISA matching the 90.8 F1 baseline in 800 iterations — 47.9% fewer
+//! iterations, 36.3% less time. At miniature scale: a transformer on the
+//! synthetic masked-token task. Each optimizer uses its own tuned schedule
+//! (as the paper's Table 4 does): LAMB needs a long low-LR ramp; KAISA
+//! tolerates a much larger learning rate (the "natural gradient methods
+//! enable larger learning rates" property of Section 2).
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin table3
+//! ```
+
+use kaisa_bench::render_table;
+use kaisa_core::KfacConfig;
+use kaisa_data::{MaskedTokenTask, SequenceRules};
+use kaisa_nn::models::{BertMini, BertMiniConfig};
+use kaisa_optim::{Lamb, LrSchedule};
+use kaisa_tensor::Rng;
+use kaisa_trainer::{train_distributed, TrainConfig, TrainResult};
+
+fn run(
+    max_epochs: usize,
+    schedule: LrSchedule,
+    kfac: Option<KfacConfig>,
+    data: &(MaskedTokenTask, MaskedTokenTask),
+) -> TrainResult {
+    let model_cfg =
+        BertMiniConfig { vocab: 24, d_model: 24, heads: 4, layers: 2, ffn_dim: 48, max_seq: 12 };
+    let cfg = TrainConfig {
+        epochs: max_epochs,
+        local_batch: 8,
+        grad_accum: 2,
+        schedule,
+        kfac,
+        seed: 40,
+        eval_batch: 32,
+        ..Default::default()
+    };
+    train_distributed(
+        2,
+        || BertMini::new(model_cfg, &mut Rng::seed_from_u64(41)),
+        Lamb::new,
+        &data.0,
+        &data.1,
+        &cfg,
+    )
+}
+
+fn main() {
+    println!("Table 3 — BERT performance comparison: KAISA vs LAMB");
+    println!("(paper: SQuAD F1 after phase-2 pretraining; here: masked-token accuracy)\n");
+
+    let rules = SequenceRules { vocab: 24, mult: 1, offset: 5, rule_probability: 0.95 };
+    let data = (
+        MaskedTokenTask::generate(512, 12, rules, 0.25, 140),
+        MaskedTokenTask::generate(128, 12, rules, 0.25, 141),
+    );
+
+    // Baseline LAMB with its tuned long schedule.
+    let lamb_epochs = 60usize;
+    let lamb_schedule = LrSchedule::WarmupPoly { lr: 5e-3, warmup: 30, total: 1200, power: 1.0 };
+    let lamb = run(lamb_epochs, lamb_schedule, None, &data);
+    let lamb_metric = lamb.best_metric();
+    let lamb_secs = lamb.total_seconds;
+
+    let mut rows = vec![vec![
+        "LAMB".to_string(),
+        format!("{lamb_metric:.3}"),
+        lamb.iterations.to_string(),
+        format!("{lamb_secs:.1}"),
+        "1.00".to_string(),
+        "-".to_string(),
+    ]];
+
+    // KAISA at shrinking iteration budgets with its own tuned schedule.
+    let kfac_cfg = || KfacConfig::builder().factor_update_freq(2).inv_update_freq(10).build();
+    for epochs in [30usize, 24, 20, 15] {
+        let schedule = LrSchedule::WarmupPoly { lr: 3e-2, warmup: 8, total: 600, power: 1.0 };
+        let r = run(epochs, schedule, Some(kfac_cfg()), &data);
+        rows.push(vec![
+            format!("KAISA ({} iters)", r.iterations),
+            format!("{:.3}", r.best_metric()),
+            r.iterations.to_string(),
+            format!("{:.1}", r.total_seconds),
+            format!("{:.2}", r.total_seconds / lamb_secs),
+            if r.best_metric() >= lamb_metric { "yes".into() } else { "no".into() },
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["optimizer", "masked acc", "iterations", "wall s", "time ratio", "≥ LAMB?"],
+            &rows
+        )
+    );
+    println!("\nShape check (paper Table 3): KAISA matches the LAMB baseline metric at");
+    println!("roughly half the iterations (paper: 800 of 1536, with 36.3% less time).");
+}

@@ -1,0 +1,29 @@
+//! Tables 1 and 2: the paper's baseline/hardware summary and hyperparameter
+//! configuration, as encoded in this reproduction.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin tables            # both
+//! cargo run --release -p kaisa-bench --bin tables -- table1
+//! ```
+
+use kaisa_bench::render_table;
+use kaisa_sim::experiments::{table1, table2};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "all" || which == "table1" {
+        println!("Table 1 — baseline performance and hardware summary\n");
+        let rows: Vec<Vec<String>> = table1().iter().map(|r| r.to_vec()).collect();
+        println!("{}", render_table(&["App", "Ref", "Baseline", "GPU", "# GPUs"], &rows));
+        println!();
+    }
+    if which == "all" || which == "table2" {
+        println!("Table 2 — hyperparameters per application\n");
+        let rows: Vec<Vec<String>> = table2().iter().map(|r| r.to_vec()).collect();
+        println!(
+            "{}",
+            render_table(&["App", "BS", "LR", "WU", "K_freq", "F_freq"], &rows)
+        );
+        println!("grad_worker_frac = 1 and damping = 0.003 for all cases (paper Table 2).");
+    }
+}

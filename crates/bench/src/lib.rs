@@ -1,0 +1,79 @@
+//! # kaisa-bench
+//!
+//! Shared helpers for the table/figure regeneration binaries and Criterion
+//! micro-benchmarks. One binary exists per table and figure of the paper's
+//! evaluation section; see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Render a simple aligned text table (header + rows) for figure binaries.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// An ASCII sparkline for series printed by the figure binaries.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn sparkline_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

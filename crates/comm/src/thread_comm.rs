@@ -1,0 +1,625 @@
+//! Thread-rank communicator with shared-memory rendezvous collectives.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::meter::{CommEvent, CommOp, Meter, MeterSnapshot};
+use crate::{CollectiveCostModel, Communicator, ReduceOp};
+
+/// Key identifying one in-flight collective: the (sorted) participating
+/// group plus that group's per-member operation sequence number. Matching
+/// follows MPI semantics: members issue a group's collectives in order.
+type OpKey = (Vec<usize>, u64);
+
+#[derive(Default)]
+struct OpSlot {
+    /// Reduction accumulator or broadcast payload.
+    buf: Option<Vec<f32>>,
+    /// Per-rank contributions for allgather.
+    gather: BTreeMap<usize, Vec<f32>>,
+    arrived: usize,
+    ready: bool,
+    done: usize,
+}
+
+struct CommCore {
+    world: usize,
+    slots: Mutex<HashMap<OpKey, OpSlot>>,
+    cond: Condvar,
+    meter: Meter,
+    cost: CollectiveCostModel,
+}
+
+/// A communicator whose ranks are OS threads within this process.
+///
+/// Create a full world with [`ThreadComm::world`] (one handle per rank) or
+/// run a closure on every rank with [`ThreadComm::run`]. Handles share the
+/// rendezvous core and traffic meter; each handle is owned by exactly one
+/// thread.
+pub struct ThreadComm {
+    rank: usize,
+    core: Arc<CommCore>,
+    /// Rank-local per-group sequence counters (interior mutability because
+    /// trait methods take `&self`; uncontended — one thread per handle).
+    seq: Mutex<HashMap<Vec<usize>, u64>>,
+}
+
+impl ThreadComm {
+    /// Create handles for a world of `n` ranks with the default
+    /// (InfiniBand-EDR) cost model.
+    pub fn world(n: usize) -> Vec<ThreadComm> {
+        Self::world_with_cost(n, CollectiveCostModel::default())
+    }
+
+    /// Create handles for a world of `n` ranks with a custom cost model.
+    pub fn world_with_cost(n: usize, cost: CollectiveCostModel) -> Vec<ThreadComm> {
+        assert!(n > 0, "world size must be positive");
+        let core = Arc::new(CommCore {
+            world: n,
+            slots: Mutex::new(HashMap::new()),
+            cond: Condvar::new(),
+            meter: Meter::new(),
+            cost,
+        });
+        (0..n)
+            .map(|rank| ThreadComm { rank, core: Arc::clone(&core), seq: Mutex::new(HashMap::new()) })
+            .collect()
+    }
+
+    /// Spawn `n` rank threads, run `f` on each with its communicator, and
+    /// return the per-rank results in rank order.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadComm) -> R + Sync,
+    {
+        Self::run_with_cost(n, CollectiveCostModel::default(), f)
+    }
+
+    /// [`ThreadComm::run`] with a custom collective cost model.
+    pub fn run_with_cost<R, F>(n: usize, cost: CollectiveCostModel, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadComm) -> R + Sync,
+    {
+        let comms = Self::world_with_cost(n, cost);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+
+    fn next_seq(&self, group: &[usize]) -> u64 {
+        let mut seqs = self.seq.lock();
+        let counter = seqs.entry(group.to_vec()).or_insert(0);
+        let s = *counter;
+        *counter += 1;
+        s
+    }
+
+    fn normalize_group(&self, group: &[usize]) -> Vec<usize> {
+        let mut g = group.to_vec();
+        g.sort_unstable();
+        g.dedup();
+        assert!(
+            g.iter().all(|&r| r < self.core.world),
+            "group rank out of range (world={})",
+            self.core.world
+        );
+        assert!(g.contains(&self.rank), "rank {} is not in group {:?}", self.rank, g);
+        g
+    }
+
+    fn world_group(&self) -> Vec<usize> {
+        (0..self.core.world).collect()
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.core.world
+    }
+
+    fn allreduce(&self, buf: &mut [f32], op: ReduceOp) {
+        let group = self.world_group();
+        self.allreduce_group(buf, op, &group);
+    }
+
+    fn allreduce_group(&self, buf: &mut [f32], op: ReduceOp, group: &[usize]) {
+        let group = self.normalize_group(group);
+        let p = group.len();
+        if p == 1 {
+            if op == ReduceOp::Avg {
+                // Average over a singleton group is the identity.
+            }
+            return;
+        }
+        let key = (group.clone(), self.next_seq(&group));
+        let bytes = std::mem::size_of_val(buf);
+
+        let mut slots = self.core.slots.lock();
+        {
+            let slot = slots.entry(key.clone()).or_default();
+            // Stash contributions per rank; the last arriver reduces them in
+            // rank order so results are bit-deterministic regardless of
+            // thread scheduling (floating-point addition is not associative).
+            slot.gather.insert(self.rank, buf.to_vec());
+            slot.arrived += 1;
+            if slot.arrived == p {
+                let mut acc: Option<Vec<f32>> = None;
+                for (_, part) in slot.gather.iter() {
+                    match acc.as_mut() {
+                        None => acc = Some(part.clone()),
+                        Some(acc) => {
+                            debug_assert_eq!(acc.len(), part.len(), "allreduce length mismatch");
+                            match op {
+                                ReduceOp::Sum | ReduceOp::Avg => {
+                                    for (a, b) in acc.iter_mut().zip(part) {
+                                        *a += *b;
+                                    }
+                                }
+                                ReduceOp::Max => {
+                                    for (a, b) in acc.iter_mut().zip(part) {
+                                        *a = a.max(*b);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut result = acc.expect("at least one contribution");
+                if op == ReduceOp::Avg {
+                    let inv = 1.0 / p as f32;
+                    for v in result.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+                slot.buf = Some(result);
+                slot.gather.clear();
+                slot.ready = true;
+                self.core.meter.record(CommEvent {
+                    op: CommOp::Allreduce,
+                    bytes,
+                    group_size: p,
+                    seconds: self.core.cost.allreduce(bytes, p),
+                });
+                self.core.cond.notify_all();
+            }
+        }
+        loop {
+            {
+                let slot = slots.get_mut(&key).expect("slot vanished before completion");
+                if slot.ready {
+                    buf.copy_from_slice(slot.buf.as_ref().expect("result present"));
+                    slot.done += 1;
+                    if slot.done == p {
+                        slots.remove(&key);
+                    }
+                    return;
+                }
+            }
+            self.core.cond.wait(&mut slots);
+        }
+    }
+
+    fn broadcast(&self, buf: &mut [f32], root: usize) {
+        let group = self.world_group();
+        self.broadcast_group(buf, root, &group);
+    }
+
+    fn broadcast_group(&self, buf: &mut [f32], root: usize, group: &[usize]) {
+        let group = self.normalize_group(group);
+        assert!(group.contains(&root), "broadcast root {root} not in group {group:?}");
+        let p = group.len();
+        if p == 1 {
+            return;
+        }
+        let key = (group.clone(), self.next_seq(&group));
+        let bytes = std::mem::size_of_val(buf);
+
+        let mut slots = self.core.slots.lock();
+        if self.rank == root {
+            let slot = slots.entry(key.clone()).or_default();
+            slot.buf = Some(buf.to_vec());
+            slot.ready = true;
+            slot.done += 1;
+            let remove = slot.done == p;
+            self.core.meter.record(CommEvent {
+                op: CommOp::Broadcast,
+                bytes,
+                group_size: p,
+                seconds: self.core.cost.broadcast(bytes, p),
+            });
+            self.core.cond.notify_all();
+            if remove {
+                slots.remove(&key);
+            }
+            return;
+        }
+        loop {
+            {
+                let slot = slots.entry(key.clone()).or_default();
+                if slot.ready {
+                    buf.copy_from_slice(slot.buf.as_ref().expect("payload present"));
+                    slot.done += 1;
+                    if slot.done == p {
+                        slots.remove(&key);
+                    }
+                    return;
+                }
+            }
+            self.core.cond.wait(&mut slots);
+        }
+    }
+
+    fn allgather(&self, send: &[f32]) -> Vec<f32> {
+        let group = self.world_group();
+        let p = group.len();
+        if p == 1 {
+            return send.to_vec();
+        }
+        let key = (group.clone(), self.next_seq(&group));
+        let bytes = std::mem::size_of_val(send);
+
+        let mut slots = self.core.slots.lock();
+        {
+            let slot = slots.entry(key.clone()).or_default();
+            slot.gather.insert(self.rank, send.to_vec());
+            slot.arrived += 1;
+            if slot.arrived == p {
+                slot.ready = true;
+                self.core.meter.record(CommEvent {
+                    op: CommOp::Allgather,
+                    bytes,
+                    group_size: p,
+                    seconds: self.core.cost.allgather(bytes, p),
+                });
+                self.core.cond.notify_all();
+            }
+        }
+        loop {
+            {
+                let slot = slots.get_mut(&key).expect("slot vanished before completion");
+                if slot.ready {
+                    let mut out = Vec::new();
+                    for (_, part) in slot.gather.iter() {
+                        out.extend_from_slice(part);
+                    }
+                    slot.done += 1;
+                    if slot.done == p {
+                        slots.remove(&key);
+                    }
+                    return out;
+                }
+            }
+            self.core.cond.wait(&mut slots);
+        }
+    }
+
+    fn reduce_scatter(&self, send: &[f32]) -> Vec<f32> {
+        let group = self.world_group();
+        let p = group.len();
+        assert_eq!(send.len() % p, 0, "reduce_scatter length must divide by world size");
+        let chunk = send.len() / p;
+        if p == 1 {
+            return send.to_vec();
+        }
+        // Implemented over the rendezvous core as reduce-then-slice; the
+        // cost meter charges the ring reduce-scatter model (half a ring
+        // allreduce), not the naive algorithm used for correctness.
+        let key = (group.clone(), self.next_seq(&group));
+        let bytes = std::mem::size_of_val(send);
+        let mut slots = self.core.slots.lock();
+        {
+            let slot = slots.entry(key.clone()).or_default();
+            slot.gather.insert(self.rank, send.to_vec());
+            slot.arrived += 1;
+            if slot.arrived == p {
+                let mut acc: Option<Vec<f32>> = None;
+                for (_, part) in slot.gather.iter() {
+                    match acc.as_mut() {
+                        None => acc = Some(part.clone()),
+                        Some(acc) => {
+                            for (a, b) in acc.iter_mut().zip(part) {
+                                *a += *b;
+                            }
+                        }
+                    }
+                }
+                slot.buf = acc;
+                slot.gather.clear();
+                slot.ready = true;
+                self.core.meter.record(CommEvent {
+                    op: CommOp::Allreduce,
+                    bytes,
+                    group_size: p,
+                    seconds: self.core.cost.allreduce(bytes, p) / 2.0,
+                });
+                self.core.cond.notify_all();
+            }
+        }
+        loop {
+            {
+                let slot = slots.get_mut(&key).expect("slot vanished before completion");
+                if slot.ready {
+                    let full = slot.buf.as_ref().expect("result present");
+                    let out = full[self.rank * chunk..(self.rank + 1) * chunk].to_vec();
+                    slot.done += 1;
+                    if slot.done == p {
+                        slots.remove(&key);
+                    }
+                    return out;
+                }
+            }
+            self.core.cond.wait(&mut slots);
+        }
+    }
+
+    fn barrier(&self) {
+        let group = self.world_group();
+        let p = group.len();
+        if p == 1 {
+            return;
+        }
+        let key = (group.clone(), self.next_seq(&group));
+        let mut slots = self.core.slots.lock();
+        {
+            let slot = slots.entry(key.clone()).or_default();
+            slot.arrived += 1;
+            if slot.arrived == p {
+                slot.ready = true;
+                self.core.meter.record(CommEvent {
+                    op: CommOp::Barrier,
+                    bytes: 0,
+                    group_size: p,
+                    seconds: self.core.cost.barrier(p),
+                });
+                self.core.cond.notify_all();
+            }
+        }
+        loop {
+            {
+                let slot = slots.get_mut(&key).expect("slot vanished before completion");
+                if slot.ready {
+                    slot.done += 1;
+                    if slot.done == p {
+                        slots.remove(&key);
+                    }
+                    return;
+                }
+            }
+            self.core.cond.wait(&mut slots);
+        }
+    }
+
+    fn meter_snapshot(&self) -> MeterSnapshot {
+        self.core.meter.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sum_all_ranks() {
+        let results = ThreadComm::run(4, |comm| {
+            let mut buf = vec![(comm.rank() + 1) as f32; 3];
+            comm.allreduce(&mut buf, ReduceOp::Sum);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0; 3]); // 1+2+3+4
+        }
+    }
+
+    #[test]
+    fn allreduce_avg() {
+        let results = ThreadComm::run(5, |comm| {
+            let mut buf = vec![comm.rank() as f32];
+            comm.allreduce(&mut buf, ReduceOp::Avg);
+            buf[0]
+        });
+        for r in results {
+            assert!((r - 2.0).abs() < 1e-6); // (0+1+2+3+4)/5
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let results = ThreadComm::run(3, |comm| {
+            let mut buf = vec![-(comm.rank() as f32), comm.rank() as f32];
+            comm.allreduce(&mut buf, ReduceOp::Max);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..3 {
+            let results = ThreadComm::run(3, move |comm| {
+                let mut buf = if comm.rank() == root {
+                    vec![42.0, root as f32]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                comm.broadcast(&mut buf, root);
+                buf
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, root as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_disjoint_groups_concurrently() {
+        // The HYBRID-OPT pattern: two disjoint broadcast groups running
+        // simultaneously must not interfere.
+        let results = ThreadComm::run(4, |comm| {
+            let (group, root, value) = if comm.rank() < 2 {
+                (vec![0usize, 1], 0usize, 7.0f32)
+            } else {
+                (vec![2usize, 3], 3usize, 9.0f32)
+            };
+            let mut buf = if comm.rank() == root { vec![value] } else { vec![0.0] };
+            comm.broadcast_group(&mut buf, root, &group);
+            buf[0]
+        });
+        assert_eq!(results, vec![7.0, 7.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn allreduce_subgroup() {
+        let results = ThreadComm::run(4, |comm| {
+            if comm.rank() % 2 == 0 {
+                let mut buf = vec![comm.rank() as f32];
+                comm.allreduce_group(&mut buf, ReduceOp::Sum, &[0, 2]);
+                Some(buf[0])
+            } else {
+                None
+            }
+        });
+        assert_eq!(results[0], Some(2.0));
+        assert_eq!(results[2], Some(2.0));
+    }
+
+    #[test]
+    fn allgather_rank_order() {
+        let results = ThreadComm::run(3, |comm| {
+            comm.allgather(&[comm.rank() as f32 * 10.0, 1.0])
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 10.0, 1.0, 20.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_in_order() {
+        // Back-to-back collectives on the same group must match pairwise.
+        let results = ThreadComm::run(4, |comm| {
+            let mut out = Vec::new();
+            for round in 0..10 {
+                let mut buf = vec![(comm.rank() + round) as f32];
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                out.push(buf[0]);
+            }
+            out
+        });
+        for r in &results {
+            for (round, &v) in r.iter().enumerate() {
+                assert_eq!(v, (6 + 4 * round) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        ThreadComm::run(8, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank's increment must be visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn meter_counts_collectives() {
+        let comms = ThreadComm::world(2);
+        std::thread::scope(|s| {
+            for comm in &comms {
+                s.spawn(move || {
+                    let mut buf = vec![1.0f32; 16];
+                    comm.allreduce(&mut buf, ReduceOp::Sum);
+                    comm.broadcast(&mut buf, 0);
+                });
+            }
+        });
+        let snap = comms[0].meter_snapshot();
+        assert_eq!(snap.calls(CommOp::Allreduce), 1);
+        assert_eq!(snap.calls(CommOp::Broadcast), 1);
+        assert_eq!(snap.bytes(CommOp::Allreduce), 64);
+        assert!(snap.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn world_of_one_is_noop() {
+        let results = ThreadComm::run(1, |comm| {
+            let mut buf = vec![5.0f32];
+            comm.allreduce(&mut buf, ReduceOp::Sum);
+            comm.broadcast(&mut buf, 0);
+            comm.barrier();
+            let g = comm.allgather(&buf);
+            (buf[0], g)
+        });
+        assert_eq!(results[0], (5.0, vec![5.0]));
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        let n = 16;
+        let results = ThreadComm::run(n, |comm| {
+            let mut acc = 0.0f32;
+            for _ in 0..50 {
+                let mut buf = vec![1.0f32; 4];
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                acc += buf[0];
+            }
+            acc
+        });
+        for r in results {
+            assert_eq!(r, 50.0 * n as f32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod reduce_scatter_tests {
+    use super::*;
+
+    #[test]
+    fn reduce_scatter_sums_and_slices() {
+        let results = ThreadComm::run(4, |comm| {
+            // Each rank contributes [rank, rank, ..] over 4 chunks of 2.
+            let send = vec![comm.rank() as f32; 8];
+            comm.reduce_scatter(&send)
+        });
+        // Sum over ranks = 0+1+2+3 = 6 everywhere; each rank gets its chunk.
+        for (rank, out) in results.iter().enumerate() {
+            assert_eq!(out, &vec![6.0; 2], "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_distinct_chunks() {
+        let results = ThreadComm::run(2, |comm| {
+            // Rank r sends [r*10, r*10+1, r*10+2, r*10+3].
+            let send: Vec<f32> = (0..4).map(|i| (comm.rank() * 10 + i) as f32).collect();
+            comm.reduce_scatter(&send)
+        });
+        // Sums: [10, 12, 14, 16]; rank 0 gets [10, 12], rank 1 [14, 16].
+        assert_eq!(results[0], vec![10.0, 12.0]);
+        assert_eq!(results[1], vec![14.0, 16.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_world_one() {
+        let results = ThreadComm::run(1, |comm| comm.reduce_scatter(&[1.0, 2.0]));
+        assert_eq!(results[0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! K-FAC preconditioner configuration.
+
+use kaisa_tensor::Precision;
+
+use crate::AssignmentStrategy;
+
+/// Configuration of the [`crate::Kfac`] preconditioner.
+///
+/// Defaults mirror the paper's Table 2 settings where a single value is used
+/// across applications (`damping = 0.003`, `grad_worker_frac = 1`).
+#[derive(Debug, Clone)]
+pub struct KfacConfig {
+    /// Fraction of ranks that act as gradient workers per layer
+    /// (Section 3.1). `1/world` = MEM-OPT, `1` = COMM-OPT.
+    pub grad_worker_frac: f64,
+    /// Tikhonov damping γ added to the eigenvalue outer product (Eq. 16).
+    pub damping: f32,
+    /// Exponential decay of the running factor averages
+    /// (`A ← decay·A + (1-decay)·Â`).
+    pub factor_decay: f32,
+    /// KL-clip constant for gradient scaling; `None` disables scaling.
+    pub kl_clip: Option<f32>,
+    /// Iterations between factor updates (Table 2's `F_freq`).
+    pub factor_update_freq: usize,
+    /// Iterations between eigendecomposition recomputations (`K_freq`).
+    pub inv_update_freq: usize,
+    /// Storage/communication precision for factors and eigendecompositions
+    /// (Section 3.3). Eigendecompositions always *compute* in full precision.
+    pub precision: Precision,
+    /// Send only the upper triangle in the factor allreduce (Section 4.3).
+    pub triangular_comm: bool,
+    /// Precompute `1/(v_G v_Aᵀ + γ)` once on the eigendecomposition worker
+    /// and broadcast it, instead of recomputing per step (Section 4.4).
+    pub precompute_outer: bool,
+    /// Use the eigendecomposition method (Eq. 15–17). When `false`, fall
+    /// back to damped direct inverses (Eq. 12–14) — the ablation of
+    /// Section 2.1.3.
+    pub use_eigen: bool,
+    /// How eigendecomposition jobs are spread over ranks (Section 3.2).
+    pub assignment: AssignmentStrategy,
+    /// Run the EK-FAC variant (George et al.): keep KAISA's distribution of
+    /// eigenbases but replace the eigenvalue outer product with running
+    /// corrected second moments updated every step — the extension the
+    /// paper's Related Work proposes layering on this framework.
+    pub ekfac: bool,
+}
+
+impl Default for KfacConfig {
+    fn default() -> Self {
+        KfacConfig {
+            grad_worker_frac: 1.0,
+            damping: 0.003,
+            factor_decay: 0.95,
+            kl_clip: Some(0.001),
+            factor_update_freq: 10,
+            inv_update_freq: 100,
+            precision: Precision::Fp32,
+            triangular_comm: false,
+            precompute_outer: true,
+            use_eigen: true,
+            assignment: AssignmentStrategy::ComputeLpt,
+            ekfac: false,
+        }
+    }
+}
+
+impl KfacConfig {
+    /// Start building a configuration.
+    pub fn builder() -> KfacConfigBuilder {
+        KfacConfigBuilder { cfg: KfacConfig::default() }
+    }
+
+    /// Validate invariants; called by [`crate::Kfac::new`].
+    pub fn validate(&self) {
+        assert!(self.grad_worker_frac > 0.0, "grad_worker_frac must be positive");
+        assert!(self.damping > 0.0, "damping must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.factor_decay),
+            "factor_decay must be in [0, 1)"
+        );
+        assert!(self.factor_update_freq > 0, "factor_update_freq must be positive");
+        assert!(self.inv_update_freq > 0, "inv_update_freq must be positive");
+        assert!(
+            self.inv_update_freq % self.factor_update_freq == 0,
+            "inv_update_freq ({}) should be a multiple of factor_update_freq ({}) so \
+             eigendecompositions never run on stale-by-construction factors",
+            self.inv_update_freq,
+            self.factor_update_freq
+        );
+    }
+}
+
+/// Builder for [`KfacConfig`].
+#[derive(Debug, Clone)]
+pub struct KfacConfigBuilder {
+    cfg: KfacConfig,
+}
+
+impl KfacConfigBuilder {
+    /// Set `grad_worker_frac` (Section 3.1).
+    pub fn grad_worker_frac(mut self, frac: f64) -> Self {
+        self.cfg.grad_worker_frac = frac;
+        self
+    }
+
+    /// Set the Tikhonov damping γ.
+    pub fn damping(mut self, damping: f32) -> Self {
+        self.cfg.damping = damping;
+        self
+    }
+
+    /// Set the running-average decay.
+    pub fn factor_decay(mut self, decay: f32) -> Self {
+        self.cfg.factor_decay = decay;
+        self
+    }
+
+    /// Set (or disable, with `None`) KL-clip gradient scaling.
+    pub fn kl_clip(mut self, clip: Option<f32>) -> Self {
+        self.cfg.kl_clip = clip;
+        self
+    }
+
+    /// Set `F_freq`, the factor update interval.
+    pub fn factor_update_freq(mut self, freq: usize) -> Self {
+        self.cfg.factor_update_freq = freq;
+        self
+    }
+
+    /// Set `K_freq`, the eigendecomposition interval.
+    pub fn inv_update_freq(mut self, freq: usize) -> Self {
+        self.cfg.inv_update_freq = freq;
+        self
+    }
+
+    /// Set the factor storage/communication precision.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.cfg.precision = precision;
+        self
+    }
+
+    /// Toggle triangular factor communication.
+    pub fn triangular_comm(mut self, on: bool) -> Self {
+        self.cfg.triangular_comm = on;
+        self
+    }
+
+    /// Toggle the outer-product precompute optimization.
+    pub fn precompute_outer(mut self, on: bool) -> Self {
+        self.cfg.precompute_outer = on;
+        self
+    }
+
+    /// Toggle eigendecomposition (true) vs. direct damped inverse (false).
+    pub fn use_eigen(mut self, on: bool) -> Self {
+        self.cfg.use_eigen = on;
+        self
+    }
+
+    /// Set the eigendecomposition assignment strategy.
+    pub fn assignment(mut self, strategy: AssignmentStrategy) -> Self {
+        self.cfg.assignment = strategy;
+        self
+    }
+
+    /// Toggle the EK-FAC eigenvalue correction.
+    pub fn ekfac(mut self, on: bool) -> Self {
+        self.cfg.ekfac = on;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> KfacConfig {
+        self.cfg.validate();
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let cfg = KfacConfig::builder()
+            .grad_worker_frac(0.5)
+            .damping(0.01)
+            .factor_update_freq(5)
+            .inv_update_freq(50)
+            .precision(Precision::Fp16)
+            .triangular_comm(true)
+            .build();
+        assert_eq!(cfg.grad_worker_frac, 0.5);
+        assert_eq!(cfg.damping, 0.01);
+        assert_eq!(cfg.inv_update_freq, 50);
+        assert!(cfg.triangular_comm);
+        assert_eq!(cfg.precision, Precision::Fp16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_frequencies_rejected() {
+        let _ = KfacConfig::builder().factor_update_freq(7).inv_update_freq(100).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frac_rejected() {
+        let _ = KfacConfig::builder().grad_worker_frac(0.0).build();
+    }
+}

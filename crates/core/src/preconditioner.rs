@@ -1,0 +1,811 @@
+//! The `Kfac` preconditioner: orchestration of the distributed K-FAC step.
+//!
+//! One call to [`Kfac::step`] performs the stages of the paper's Figure 7,
+//! in order:
+//!
+//! 1. **Factor update** (every `factor_update_freq` steps): finalize the
+//!    captured `aᵀa` / `gᵀg` statistics, allreduce-average them across the
+//!    data-parallel world (optionally triangular-packed, optionally in
+//!    fp16), and fold them into the running averages.
+//! 2. **Eigendecomposition** (every `inv_update_freq` steps): the assigned
+//!    workers decompose their factors; the `G` worker precomputes
+//!    `1/(v_G v_Aᵀ + γ)` (Section 4.4); results broadcast to the layer's
+//!    gradient workers.
+//! 3. **Gradient preconditioning** (every step): gradient workers compute
+//!    Eq. 15–17 locally and broadcast the preconditioned gradient to their
+//!    disjoint receiver groups.
+//! 4. **Scaling** (every step): KL-clip scaling `ν = min(1, √(κ/Σ⟨p,g⟩lr²))`
+//!    and write-back into the model's gradients.
+
+use kaisa_comm::{Communicator, ReduceOp};
+use kaisa_linalg::{pack_upper, packed_len, unpack_upper};
+use kaisa_nn::Model;
+use kaisa_tensor::{Matrix, Precision};
+
+use crate::assignment::{plan_assignments, WorkPlan};
+use crate::config::KfacConfig;
+use crate::state::KfacLayerState;
+use crate::timing::{Stage, StageTimes};
+use crate::DistStrategy;
+
+/// The KAISA K-FAC gradient preconditioner.
+///
+/// Usage mirrors the paper's Listing 1:
+///
+/// ```ignore
+/// let mut kfac = Kfac::new(KfacConfig::builder().grad_worker_frac(0.5).build(),
+///                          &mut model, &comm);
+/// loop {
+///     kfac.prepare(&mut model);             // enable capture when needed
+///     model.zero_grad();
+///     model.forward_backward(&x, &y);
+///     comm.allreduce(&mut grads, Avg);       // standard DDP allreduce
+///     kfac.step(&mut model, &comm, lr);      // precondition in place
+///     optimizer.step_model(&mut model, lr);  // SGD / Adam / LAMB
+/// }
+/// ```
+pub struct Kfac {
+    cfg: KfacConfig,
+    plan: WorkPlan,
+    states: Vec<KfacLayerState>,
+    rank: usize,
+    world: usize,
+    steps: u64,
+    times: StageTimes,
+    /// Logical K-FAC communication bytes attributed to this rank at the
+    /// configured storage precision: allreduce payloads count once per
+    /// participant; broadcast traffic (`payload x receivers`) is attributed
+    /// to the root. The live `kaisa-comm` meter separately counts physical
+    /// `f32` buffers per collective.
+    comm_bytes: u64,
+}
+
+impl Kfac {
+    /// Register a model: record layer factor dimensions, compute the
+    /// distribution plan, and enable capture for the first step.
+    pub fn new<M: Model>(cfg: KfacConfig, model: &mut M, comm: &dyn Communicator) -> Self {
+        cfg.validate();
+        let mut dims = Vec::new();
+        let mut names = Vec::new();
+        for layer in model.kfac_layers() {
+            dims.push((layer.a_dim(), layer.g_dim()));
+            names.push(layer.layer_name().to_string());
+        }
+        assert!(!dims.is_empty(), "model exposes no K-FAC-preconditionable layers");
+        let plan = plan_assignments(&dims, comm.world_size(), cfg.grad_worker_frac, cfg.assignment);
+        let states = dims
+            .iter()
+            .zip(&names)
+            .map(|(&(a, g), name)| KfacLayerState::new(name.clone(), a, g))
+            .collect();
+        let kfac = Kfac {
+            cfg,
+            plan,
+            states,
+            rank: comm.rank(),
+            world: comm.world_size(),
+            steps: 0,
+            times: StageTimes::new(),
+            comm_bytes: 0,
+        };
+        // Step 0 updates factors, so the very first forward must capture.
+        model.set_kfac_capture(true);
+        kfac
+    }
+
+    /// The distribution strategy implied by the configuration.
+    pub fn strategy(&self) -> DistStrategy {
+        DistStrategy::from_worker_count(self.plan.workers_per_layer, self.world)
+    }
+
+    /// The computed work plan (placement inspection / tests).
+    pub fn plan(&self) -> &WorkPlan {
+        &self.plan
+    }
+
+    /// Completed `step()` calls.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Per-stage timing accumulated so far (Figure 7 instrumentation).
+    pub fn stage_times(&self) -> &StageTimes {
+        &self.times
+    }
+
+    /// Logical K-FAC communication bytes at the configured precision.
+    pub fn comm_bytes(&self) -> u64 {
+        self.comm_bytes
+    }
+
+    /// This rank's K-FAC memory overhead in bytes (factors + cached
+    /// decompositions at the storage precision) — the Figure 6/Table 5
+    /// metric.
+    pub fn memory_bytes(&self) -> usize {
+        self.states.iter().map(|s| s.memory_bytes(self.cfg.precision)).sum()
+    }
+
+    /// Arm statistic capture on the model if the *upcoming* step is a
+    /// factor-update step. Call before every forward pass (cheap).
+    pub fn prepare<M: Model>(&self, model: &mut M) {
+        let capture = self.steps % self.cfg.factor_update_freq as u64 == 0;
+        model.set_kfac_capture(capture);
+    }
+
+    /// True if the upcoming step updates factors.
+    pub fn is_factor_update_step(&self) -> bool {
+        self.steps % self.cfg.factor_update_freq as u64 == 0
+    }
+
+    /// True if the upcoming step recomputes eigendecompositions.
+    pub fn is_inv_update_step(&self) -> bool {
+        self.steps % self.cfg.inv_update_freq as u64 == 0
+    }
+
+    /// Run one K-FAC preconditioning step. Must be called after the backward
+    /// pass (and after the data-parallel gradient allreduce) on every rank.
+    /// `lr` is the learning rate the following optimizer step will use; it
+    /// enters the KL-clip scaling factor.
+    pub fn step<M: Model>(&mut self, model: &mut M, comm: &dyn Communicator, lr: f32) {
+        let factor_step = self.is_factor_update_step();
+        let inv_step = self.is_inv_update_step();
+        let mut layers = model.kfac_layers();
+        assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
+
+        if factor_step {
+            self.update_factors(&mut layers, comm);
+        }
+        if inv_step {
+            self.update_decompositions(comm);
+        }
+        self.precondition_and_scale(&mut layers, comm, lr);
+
+        self.steps += 1;
+        self.times.steps += 1;
+    }
+
+    /// Stage 1: finalize captured statistics and allreduce-average factors.
+    fn update_factors(
+        &mut self,
+        layers: &mut [&mut dyn kaisa_nn::KfacAble],
+        comm: &dyn Communicator,
+    ) {
+        let precision = self.cfg.precision;
+        let decay = self.cfg.factor_decay;
+        let triangular = self.cfg.triangular_comm;
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                panic!(
+                    "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                    layer.layer_name()
+                )
+            });
+            let (mut a_new, mut g_new) = self.times.time(Stage::FactorCompute, || {
+                let inv = 1.0 / stats.batches.max(1) as f32;
+                let mut a = stats.a_stat;
+                a.scale(inv);
+                let mut g = stats.g_stat;
+                g.scale(inv);
+                (a, g)
+            });
+
+            self.times.time(Stage::FactorComm, || {
+                if triangular {
+                    // Section 4.3: send only the upper triangles, rebuild after.
+                    let mut packed = pack_upper(&a_new);
+                    let g_packed = pack_upper(&g_new);
+                    let split = packed.len();
+                    packed.extend_from_slice(&g_packed);
+                    quantize_slice(&mut packed, precision);
+                    comm.allreduce(&mut packed, ReduceOp::Avg);
+                    quantize_slice(&mut packed, precision);
+                    a_new = unpack_upper(&packed[..split], a_new.rows());
+                    g_new = unpack_upper(&packed[split..], g_new.rows());
+                } else {
+                    let mut buf = Vec::with_capacity(a_new.numel() + g_new.numel());
+                    buf.extend_from_slice(a_new.as_slice());
+                    buf.extend_from_slice(g_new.as_slice());
+                    quantize_slice(&mut buf, precision);
+                    comm.allreduce(&mut buf, ReduceOp::Avg);
+                    quantize_slice(&mut buf, precision);
+                    let a_len = a_new.numel();
+                    a_new.as_mut_slice().copy_from_slice(&buf[..a_len]);
+                    g_new.as_mut_slice().copy_from_slice(&buf[a_len..]);
+                }
+            });
+            let logical = if triangular {
+                packed_len(a_new.rows()) + packed_len(g_new.rows())
+            } else {
+                a_new.numel() + g_new.numel()
+            };
+            self.comm_bytes += (logical * precision.bytes_per_element()) as u64;
+
+            self.times.time(Stage::FactorCompute, || {
+                self.states[i].update_factors(a_new, g_new, decay);
+            });
+        }
+    }
+
+    /// Stage 2: recompute decompositions on assigned workers and broadcast.
+    fn update_decompositions(&mut self, comm: &dyn Communicator) {
+        let rank = self.rank;
+        let damping = self.cfg.damping;
+        let precision = self.cfg.precision;
+        let precompute = self.cfg.precompute_outer;
+        let use_eigen = self.cfg.use_eigen;
+
+        for i in 0..self.states.len() {
+            let asn = self.plan.layers[i].clone();
+            let is_gw = asn.is_gradient_worker(rank);
+            let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
+
+            // EK-FAC corrected moments live in the eigenbasis; a new basis
+            // invalidates them (they re-seed from the fresh outer product).
+            if self.cfg.ekfac {
+                self.states[i].ekfac_scale = None;
+            }
+
+            if !use_eigen {
+                // Eq. 12–14 fallback: damped direct inverses computed on the
+                // A worker (both factors live on every rank), broadcast to
+                // gradient workers.
+                if rank == asn.a_worker {
+                    self.times.time(Stage::EigCompute, || {
+                        self.states[i].compute_inverses(damping);
+                    });
+                }
+                if is_gw && asn.gradient_workers.len() > 1 {
+                    let local_a = self.states[i].inv_a.take();
+                    let inv_a = bcast_matrix(
+                        &mut self.times,
+                        &mut self.comm_bytes,
+                        rank,
+                        comm,
+                        local_a,
+                        a_dim,
+                        a_dim,
+                        asn.a_worker,
+                        &asn.gradient_workers,
+                        precision,
+                    );
+                    let local_g = self.states[i].inv_g.take();
+                    let inv_g = bcast_matrix(
+                        &mut self.times,
+                        &mut self.comm_bytes,
+                        rank,
+                        comm,
+                        local_g,
+                        g_dim,
+                        g_dim,
+                        asn.a_worker,
+                        &asn.gradient_workers,
+                        precision,
+                    );
+                    self.states[i].inv_a = Some(inv_a);
+                    self.states[i].inv_g = Some(inv_g);
+                }
+                continue;
+            }
+
+            // Eigendecomposition path (Eq. 15–17).
+            let mut va: Option<Vec<f32>> = None;
+            let mut vg: Option<Vec<f32>> = None;
+            if rank == asn.a_worker {
+                let (qa, values) = self.times.time(Stage::EigCompute, || self.states[i].eig_a());
+                self.states[i].qa = Some(qa);
+                va = Some(values);
+            }
+            if rank == asn.g_worker {
+                let (qg, values) = self.times.time(Stage::EigCompute, || self.states[i].eig_g());
+                self.states[i].qg = Some(qg);
+                vg = Some(values);
+            }
+
+            if precompute {
+                // Section 4.4: ship v_A to the G worker, which computes the
+                // damped reciprocal outer product exactly once.
+                if asn.a_worker != asn.g_worker && (rank == asn.a_worker || rank == asn.g_worker)
+                {
+                    let pair = [asn.a_worker, asn.g_worker];
+                    let mut buf = va.clone().unwrap_or_else(|| vec![0.0; a_dim]);
+                    self.times.time(Stage::EigComm, || {
+                        comm.broadcast_group(&mut buf, asn.a_worker, &pair);
+                    });
+                    if rank == asn.a_worker {
+                        self.comm_bytes += (a_dim * precision.bytes_per_element()) as u64;
+                    }
+                    if rank == asn.g_worker {
+                        va = Some(buf);
+                    }
+                }
+                if rank == asn.g_worker {
+                    let outer = self.times.time(Stage::EigCompute, || {
+                        KfacLayerState::compute_outer(
+                            vg.as_ref().expect("G worker has v_G"),
+                            va.as_ref().expect("G worker received v_A"),
+                            damping,
+                        )
+                    });
+                    self.states[i].outer = Some(outer);
+                }
+            }
+
+            if is_gw && asn.gradient_workers.len() > 1 {
+                let local_qa = self.states[i].qa.take();
+                let qa = bcast_matrix(
+                    &mut self.times,
+                    &mut self.comm_bytes,
+                    rank,
+                    comm,
+                    local_qa,
+                    a_dim,
+                    a_dim,
+                    asn.a_worker,
+                    &asn.gradient_workers,
+                    precision,
+                );
+                self.states[i].qa = Some(qa);
+                let local_qg = self.states[i].qg.take();
+                let qg = bcast_matrix(
+                    &mut self.times,
+                    &mut self.comm_bytes,
+                    rank,
+                    comm,
+                    local_qg,
+                    g_dim,
+                    g_dim,
+                    asn.g_worker,
+                    &asn.gradient_workers,
+                    precision,
+                );
+                self.states[i].qg = Some(qg);
+                if precompute {
+                    let local_outer = self.states[i].outer.take();
+                    let outer = bcast_matrix(
+                        &mut self.times,
+                        &mut self.comm_bytes,
+                        rank,
+                        comm,
+                        local_outer,
+                        g_dim,
+                        a_dim,
+                        asn.g_worker,
+                        &asn.gradient_workers,
+                        precision,
+                    );
+                    self.states[i].outer = Some(outer);
+                } else {
+                    // Ablation: ship raw eigenvalues; every worker recomputes
+                    // the outer product at every preconditioning step.
+                    let mut va_buf = va.take().unwrap_or_else(|| vec![0.0; a_dim]);
+                    let mut vg_buf = vg.take().unwrap_or_else(|| vec![0.0; g_dim]);
+                    self.times.time(Stage::EigComm, || {
+                        comm.broadcast_group(&mut va_buf, asn.a_worker, &asn.gradient_workers);
+                        comm.broadcast_group(&mut vg_buf, asn.g_worker, &asn.gradient_workers);
+                    });
+                    let receivers = (asn.gradient_workers.len() - 1) as u64;
+                    if rank == asn.a_worker {
+                        self.comm_bytes += (a_dim * precision.bytes_per_element()) as u64 * receivers;
+                    }
+                    if rank == asn.g_worker {
+                        self.comm_bytes += (g_dim * precision.bytes_per_element()) as u64 * receivers;
+                    }
+                    self.states[i].va = Some(va_buf);
+                    self.states[i].vg = Some(vg_buf);
+                }
+            } else if is_gw {
+                // Single gradient worker: keep local values (no broadcast).
+                if !precompute {
+                    if let Some(values) = va.take() {
+                        self.states[i].va = Some(values);
+                    }
+                    if let Some(values) = vg.take() {
+                        self.states[i].vg = Some(values);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stages 3 and 4: precondition gradients, broadcast to receivers,
+    /// KL-clip scale, and write back.
+    fn precondition_and_scale(
+        &mut self,
+        layers: &mut [&mut dyn kaisa_nn::KfacAble],
+        comm: &dyn Communicator,
+        lr: f32,
+    ) {
+        let rank = self.rank;
+        let damping = self.cfg.damping;
+        let precision = self.cfg.precision;
+        let use_eigen = self.cfg.use_eigen;
+        let ekfac = self.cfg.ekfac;
+        let factor_decay = self.cfg.factor_decay;
+
+        let grads: Vec<Matrix> = layers.iter().map(|l| l.combined_grad()).collect();
+        let mut preconditioned: Vec<Matrix> = Vec::with_capacity(grads.len());
+
+        for (i, grad) in grads.iter().enumerate() {
+            let asn = &self.plan.layers[i];
+            let is_gw = asn.is_gradient_worker(rank);
+            let (g_dim, a_dim) = (self.states[i].g_dim, self.states[i].a_dim);
+            let mut precond = if is_gw {
+                let state = &mut self.states[i];
+                self.times.time(Stage::Precondition, || {
+                    if ekfac {
+                        state.precondition_ekfac(grad, damping, factor_decay)
+                    } else if use_eigen {
+                        state.precondition_eigen(grad, damping)
+                    } else {
+                        state.precondition_inverse(grad)
+                    }
+                })
+            } else {
+                Matrix::zeros(g_dim, a_dim)
+            };
+
+            if let Some(group) = asn.bcast_group_of(rank) {
+                let root = group[0];
+                if rank == root {
+                    precond.quantize(precision);
+                    self.comm_bytes += (precond.numel()
+                        * precision.bytes_per_element()
+                        * (group.len() - 1)) as u64;
+                }
+                let group = group.clone();
+                self.times.time(Stage::GradComm, || {
+                    comm.broadcast_group(precond.as_mut_slice(), root, &group);
+                });
+            }
+            preconditioned.push(precond);
+        }
+
+        // Stage 4: KL-clip scaling (identical on every rank because both the
+        // gradients and the preconditioned gradients are replicated).
+        self.times.time(Stage::Scale, || {
+            let nu = match self.cfg.kl_clip {
+                None => 1.0,
+                Some(clip) => {
+                    let mut vg_sum = 0.0f64;
+                    for (p, g) in preconditioned.iter().zip(&grads) {
+                        vg_sum += (p.dot(g) * lr * lr) as f64;
+                    }
+                    if vg_sum > 0.0 {
+                        (clip as f64 / vg_sum).sqrt().min(1.0) as f32
+                    } else {
+                        1.0
+                    }
+                }
+            };
+            for (layer, mut p) in layers.iter_mut().zip(preconditioned) {
+                if nu != 1.0 {
+                    p.scale(nu);
+                }
+                layer.set_combined_grad(&p);
+            }
+        });
+    }
+}
+
+fn quantize_slice(buf: &mut [f32], precision: Precision) {
+    if precision.is_half() {
+        kaisa_tensor::f16::quantize_slice_f16(buf);
+    }
+}
+
+/// Broadcast a matrix within `group` from `root`, quantizing the payload at
+/// the storage precision. `local` is this rank's copy if it has one.
+#[allow(clippy::too_many_arguments)]
+fn bcast_matrix(
+    times: &mut StageTimes,
+    comm_bytes: &mut u64,
+    rank: usize,
+    comm: &dyn Communicator,
+    local: Option<Matrix>,
+    rows: usize,
+    cols: usize,
+    root: usize,
+    group: &[usize],
+    precision: Precision,
+) -> Matrix {
+    let mut m = local.unwrap_or_else(|| Matrix::zeros(rows, cols));
+    debug_assert_eq!(m.shape(), (rows, cols));
+    if rank == root {
+        m.quantize(precision);
+    }
+    times.time(Stage::EigComm, || {
+        comm.broadcast_group(m.as_mut_slice(), root, group);
+    });
+    if rank == root {
+        *comm_bytes += (rows * cols * precision.bytes_per_element() * (group.len() - 1)) as u64;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_comm::LocalComm;
+    use kaisa_nn::models::Mlp;
+    use kaisa_tensor::Rng;
+
+    fn toy_setup() -> (Mlp, Matrix, Vec<usize>, Rng) {
+        let mut rng = Rng::seed_from_u64(211);
+        let mlp = Mlp::new(&[6, 10, 3], &mut rng);
+        let x = Matrix::randn(16, 6, 1.0, &mut rng);
+        let y: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        (mlp, x, y, rng)
+    }
+
+    #[test]
+    fn single_process_step_preconditions() {
+        let (mut model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let cfg = KfacConfig::builder().factor_update_freq(1).inv_update_freq(1).build();
+        let mut kfac = Kfac::new(cfg, &mut model, &comm);
+        assert_eq!(kfac.strategy(), DistStrategy::CommOpt);
+
+        kfac.prepare(&mut model);
+        model.zero_grad();
+        let _ = model.forward_backward(&x, &y);
+        let before = model.grads_flat();
+        kfac.step(&mut model, &comm, 0.1);
+        let after = model.grads_flat();
+        assert_ne!(before, after, "preconditioning must change the gradients");
+        assert!(after.iter().all(|v| v.is_finite()));
+        assert_eq!(kfac.steps(), 1);
+    }
+
+    #[test]
+    fn non_update_steps_reuse_cached_decompositions() {
+        let (mut model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let cfg = KfacConfig::builder().factor_update_freq(2).inv_update_freq(4).build();
+        let mut kfac = Kfac::new(cfg, &mut model, &comm);
+        for step in 0..6 {
+            kfac.prepare(&mut model);
+            model.zero_grad();
+            let _ = model.forward_backward(&x, &y);
+            kfac.step(&mut model, &comm, 0.1);
+            let _ = step;
+        }
+        // 6 steps with F=2: factor updates at steps 0, 2, 4 → allreduce
+        // volume reflects 3 updates; eig at steps 0, 4.
+        assert_eq!(kfac.steps(), 6);
+        assert!(kfac.stage_times().total(Stage::EigCompute) > 0.0);
+    }
+
+    #[test]
+    fn memory_grows_after_first_step() {
+        let (mut model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let cfg = KfacConfig::builder().factor_update_freq(1).inv_update_freq(1).build();
+        let mut kfac = Kfac::new(cfg, &mut model, &comm);
+        assert_eq!(kfac.memory_bytes(), 0);
+        kfac.prepare(&mut model);
+        model.zero_grad();
+        let _ = model.forward_backward(&x, &y);
+        kfac.step(&mut model, &comm, 0.1);
+        let mem = kfac.memory_bytes();
+        // Factors + Q_A + Q_G + outer for both layers.
+        // Layer 0: a=7, g=10 → 49+100+49+100+70 = 368; layer 1: a=11, g=3 →
+        // 121+9+121+9+33 = 293. Total 661 floats.
+        assert_eq!(mem, 661 * 4);
+    }
+
+    #[test]
+    fn kl_clip_bounds_update_magnitude() {
+        let (mut model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let clipped_cfg = KfacConfig::builder()
+            .factor_update_freq(1)
+            .inv_update_freq(1)
+            .kl_clip(Some(1e-6))
+            .build();
+        let free_cfg = KfacConfig::builder()
+            .factor_update_freq(1)
+            .inv_update_freq(1)
+            .kl_clip(None)
+            .build();
+
+        let mut m1 = model.clone();
+        let mut kfac1 = Kfac::new(clipped_cfg, &mut m1, &comm);
+        kfac1.prepare(&mut m1);
+        m1.zero_grad();
+        let _ = m1.forward_backward(&x, &y);
+        kfac1.step(&mut m1, &comm, 1.0);
+        let clipped_norm: f64 =
+            m1.grads_flat().iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+
+        let mut kfac2 = Kfac::new(free_cfg, &mut model, &comm);
+        kfac2.prepare(&mut model);
+        model.zero_grad();
+        let _ = model.forward_backward(&x, &y);
+        kfac2.step(&mut model, &comm, 1.0);
+        let free_norm: f64 =
+            model.grads_flat().iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+
+        assert!(clipped_norm < free_norm, "tiny kl_clip must shrink the update");
+    }
+
+    #[test]
+    fn eigen_and_inverse_paths_are_close_approximations() {
+        // Eq. 15–17 and Eq. 12–14 are *different* damped approximations (the
+        // denominators are v_G·v_A + γ vs (v_G+γ)(v_A+γ)); both must run and
+        // produce strongly correlated preconditioned gradients.
+        let (model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let mut grads = Vec::new();
+        for use_eigen in [true, false] {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .use_eigen(use_eigen)
+                .kl_clip(None)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, &comm);
+            kfac.prepare(&mut m);
+            m.zero_grad();
+            let _ = m.forward_backward(&x, &y);
+            kfac.step(&mut m, &comm, 0.1);
+            grads.push(m.grads_flat());
+        }
+        let dot: f64 = grads[0].iter().zip(&grads[1]).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let n0: f64 = grads[0].iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+        let n1: f64 = grads[1].iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+        let cosine = dot / (n0 * n1);
+        assert!(cosine > 0.9, "paths should be strongly correlated, cosine={cosine}");
+        assert!(n0 > 0.0 && n1 > 0.0 && n0.is_finite() && n1.is_finite());
+    }
+
+    #[test]
+    fn outer_precompute_ablation_matches() {
+        let (model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let mut grads = Vec::new();
+        for precompute in [true, false] {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .precompute_outer(precompute)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, &comm);
+            kfac.prepare(&mut m);
+            m.zero_grad();
+            let _ = m.forward_backward(&x, &y);
+            kfac.step(&mut m, &comm, 0.1);
+            grads.push(m.grads_flat());
+        }
+        for (a, b) in grads[0].iter().zip(&grads[1]) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn triangular_comm_is_equivalent_single_rank() {
+        let (model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let mut grads = Vec::new();
+        for triangular in [false, true] {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .triangular_comm(triangular)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, &comm);
+            kfac.prepare(&mut m);
+            m.zero_grad();
+            let _ = m.forward_backward(&x, &y);
+            kfac.step(&mut m, &comm, 0.1);
+            grads.push(m.grads_flat());
+        }
+        for (a, b) in grads[0].iter().zip(&grads[1]) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn triangular_comm_halves_logical_volume() {
+        let (model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let mut volumes = Vec::new();
+        for triangular in [false, true] {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .triangular_comm(triangular)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, &comm);
+            kfac.prepare(&mut m);
+            m.zero_grad();
+            let _ = m.forward_backward(&x, &y);
+            // Count only the factor allreduce volume: stop before eig bcasts
+            // by reading comm_bytes after a factor-only step... simplest:
+            // full step, but single-rank worlds have no eig/grad broadcasts,
+            // so comm_bytes is exactly the factor volume.
+            kfac.step(&mut m, &comm, 0.1);
+            volumes.push(kfac.comm_bytes());
+        }
+        let (full, tri) = (volumes[0] as f64, volumes[1] as f64);
+        let ratio = tri / full;
+        assert!(ratio > 0.49 && ratio < 0.56, "triangular ratio {ratio}");
+    }
+
+    #[test]
+    fn fp16_halves_logical_volume_and_memory() {
+        let (model, x, y, _) = toy_setup();
+        let comm = LocalComm::new();
+        let mut volumes = Vec::new();
+        let mut memories = Vec::new();
+        for precision in [Precision::Fp32, Precision::Fp16] {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .precision(precision)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, &comm);
+            kfac.prepare(&mut m);
+            m.zero_grad();
+            let _ = m.forward_backward(&x, &y);
+            kfac.step(&mut m, &comm, 0.1);
+            volumes.push(kfac.comm_bytes());
+            memories.push(kfac.memory_bytes());
+        }
+        assert_eq!(volumes[1] * 2, volumes[0]);
+        assert_eq!(memories[1] * 2, memories[0]);
+    }
+
+    #[test]
+    fn kfac_accelerates_convergence_over_sgd() {
+        // The headline claim at miniature scale: with equal lr and steps,
+        // K-FAC-preconditioned SGD reaches lower loss than plain SGD.
+        let mut rng = Rng::seed_from_u64(212);
+        let model = Mlp::new(&[8, 16, 4], &mut rng);
+        let x = Matrix::randn(64, 8, 1.0, &mut rng);
+        let y: Vec<usize> = (0..64).map(|i| i % 4).collect();
+        let comm = LocalComm::new();
+        let lr = 0.05;
+        let steps = 30;
+
+        // Plain SGD.
+        let mut sgd_model = model.clone();
+        for _ in 0..steps {
+            sgd_model.zero_grad();
+            let _ = sgd_model.forward_backward(&x, &y);
+            let g = sgd_model.grads_flat();
+            let mut p = sgd_model.params_flat();
+            for (pi, gi) in p.iter_mut().zip(&g) {
+                *pi -= lr * gi;
+            }
+            sgd_model.set_params_flat(&p);
+        }
+        let sgd_loss = sgd_model.evaluate(&x, &y).loss;
+
+        // K-FAC preconditioned SGD.
+        let mut kfac_model = model.clone();
+        let cfg = KfacConfig::builder().factor_update_freq(5).inv_update_freq(5).build();
+        let mut kfac = Kfac::new(cfg, &mut kfac_model, &comm);
+        for _ in 0..steps {
+            kfac.prepare(&mut kfac_model);
+            kfac_model.zero_grad();
+            let _ = kfac_model.forward_backward(&x, &y);
+            kfac.step(&mut kfac_model, &comm, lr);
+            let g = kfac_model.grads_flat();
+            let mut p = kfac_model.params_flat();
+            for (pi, gi) in p.iter_mut().zip(&g) {
+                *pi -= lr * gi;
+            }
+            kfac_model.set_params_flat(&p);
+        }
+        let kfac_loss = kfac_model.evaluate(&x, &y).loss;
+        assert!(
+            kfac_loss < sgd_loss,
+            "K-FAC ({kfac_loss}) should beat SGD ({sgd_loss}) at equal steps"
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! Per-layer K-FAC state: running factors and cached eigendecompositions.
+
+use kaisa_linalg::{spd_inverse, sym_eig};
+use kaisa_tensor::{Matrix, Precision};
+
+/// Running Kronecker-factor state and decomposition caches for one layer.
+///
+/// Which fields are populated on a given rank depends on the distribution
+/// plan: factors `A`/`G` live on every rank (they are allreduced), while the
+/// eigendecomposition caches live only on that layer's gradient workers —
+/// this is exactly the memory/communication knob Figure 6 of the paper
+/// measures.
+#[derive(Debug, Clone)]
+pub struct KfacLayerState {
+    /// Layer name (diagnostics).
+    pub name: String,
+    /// `A` factor dimension.
+    pub a_dim: usize,
+    /// `G` factor dimension.
+    pub g_dim: usize,
+    /// Running average of `A = E[a aᵀ]`.
+    pub factor_a: Option<Matrix>,
+    /// Running average of `G = E[g gᵀ]`.
+    pub factor_g: Option<Matrix>,
+    /// Eigenvectors of `A` (columns), cached on gradient workers.
+    pub qa: Option<Matrix>,
+    /// Eigenvectors of `G` (columns), cached on gradient workers.
+    pub qg: Option<Matrix>,
+    /// Precomputed `1/(v_G v_Aᵀ + γ)` (Section 4.4), on gradient workers.
+    pub outer: Option<Matrix>,
+    /// Eigenvalues of `A` (only kept when the outer product is *not*
+    /// precomputed, for the Section 4.4 ablation).
+    pub va: Option<Vec<f32>>,
+    /// Eigenvalues of `G` (ablation path).
+    pub vg: Option<Vec<f32>>,
+    /// Damped inverse of `A` (the Eq. 12–14 fallback when `use_eigen` is
+    /// off).
+    pub inv_a: Option<Matrix>,
+    /// Damped inverse of `G` (fallback path).
+    pub inv_g: Option<Matrix>,
+    /// EK-FAC corrected second moments in the Kronecker eigenbasis
+    /// (`g_dim x a_dim`), i.e. running `E[(Q_Gᵀ ∇L Q_A)²]` — the cheap
+    /// per-step "partial update" of George et al. that the paper's Related
+    /// Work proposes running under KAISA's distribution framework.
+    pub ekfac_scale: Option<Matrix>,
+}
+
+impl KfacLayerState {
+    /// Fresh state for a layer with the given factor dimensions.
+    pub fn new(name: impl Into<String>, a_dim: usize, g_dim: usize) -> Self {
+        KfacLayerState {
+            name: name.into(),
+            a_dim,
+            g_dim,
+            factor_a: None,
+            factor_g: None,
+            qa: None,
+            qg: None,
+            outer: None,
+            va: None,
+            vg: None,
+            inv_a: None,
+            inv_g: None,
+            ekfac_scale: None,
+        }
+    }
+
+    /// Fold freshly-averaged batch factors into the running averages:
+    /// `A ← decay·A + (1-decay)·Â` (first update sets `A = Â`).
+    pub fn update_factors(&mut self, a_new: Matrix, g_new: Matrix, decay: f32) {
+        debug_assert_eq!(a_new.shape(), (self.a_dim, self.a_dim));
+        debug_assert_eq!(g_new.shape(), (self.g_dim, self.g_dim));
+        match &mut self.factor_a {
+            Some(a) => a.axpby(1.0 - decay, &a_new, decay),
+            None => self.factor_a = Some(a_new),
+        }
+        match &mut self.factor_g {
+            Some(g) => g.axpby(1.0 - decay, &g_new, decay),
+            None => self.factor_g = Some(g_new),
+        }
+    }
+
+    /// Eigendecompose the running `A` factor; returns `(Q_A, v_A)`.
+    ///
+    /// # Panics
+    /// If no factor has been accumulated yet.
+    pub fn eig_a(&self) -> (Matrix, Vec<f32>) {
+        let a = self.factor_a.as_ref().expect("A factor not yet accumulated");
+        let eig = sym_eig(a).expect("A factor eigendecomposition failed");
+        (eig.vectors, eig.values)
+    }
+
+    /// Eigendecompose the running `G` factor; returns `(Q_G, v_G)`.
+    pub fn eig_g(&self) -> (Matrix, Vec<f32>) {
+        let g = self.factor_g.as_ref().expect("G factor not yet accumulated");
+        let eig = sym_eig(g).expect("G factor eigendecomposition failed");
+        (eig.vectors, eig.values)
+    }
+
+    /// Compute the damped eigenvalue reciprocal outer product
+    /// `1/(v_G v_Aᵀ + γ)` of Eq. 16.
+    pub fn compute_outer(vg: &[f32], va: &[f32], damping: f32) -> Matrix {
+        let mut outer = Matrix::outer(vg, va);
+        outer.map_inplace(|x| 1.0 / (x.max(0.0) + damping));
+        outer
+    }
+
+    /// Compute the damped direct inverses `(A+γI)⁻¹`, `(G+γI)⁻¹` of Eq. 12
+    /// (the non-eigendecomposition fallback).
+    pub fn compute_inverses(&mut self, damping: f32) {
+        let mut a = self.factor_a.clone().expect("A factor not yet accumulated");
+        a.add_diag(damping);
+        let mut g = self.factor_g.clone().expect("G factor not yet accumulated");
+        g.add_diag(damping);
+        self.inv_a = Some(spd_inverse(&a).expect("damped A must be SPD"));
+        self.inv_g = Some(spd_inverse(&g).expect("damped G must be SPD"));
+    }
+
+    /// Precondition a combined gradient (`g_dim x a_dim`) through the cached
+    /// eigendecompositions (Eq. 15–17). Requires `qa`, `qg`, and either the
+    /// precomputed `outer` or both eigenvalue vectors plus `damping`.
+    pub fn precondition_eigen(&self, grad: &Matrix, damping: f32) -> Matrix {
+        let qa = self.qa.as_ref().expect("Q_A not cached on this rank");
+        let qg = self.qg.as_ref().expect("Q_G not cached on this rank");
+        let v1 = qg.matmul_tn(grad).matmul(qa);
+        let mut v2 = v1;
+        match &self.outer {
+            Some(outer) => v2.hadamard_assign(outer),
+            None => {
+                let va = self.va.as_ref().expect("v_A not cached (ablation path)");
+                let vg = self.vg.as_ref().expect("v_G not cached (ablation path)");
+                let outer = Self::compute_outer(vg, va, damping);
+                v2.hadamard_assign(&outer);
+            }
+        }
+        qg.matmul(&v2).matmul_nt(qa)
+    }
+
+    /// EK-FAC preconditioning (George et al., NeurIPS 2018): project into
+    /// the Kronecker eigenbasis, update the running *corrected* second
+    /// moments `S ← decay·S + (1-decay)·V₁²`, and rescale by `1/(S + γ)`
+    /// instead of the K-FAC eigenvalue outer product. The eigenbases still
+    /// come from the (infrequent) factor eigendecompositions; only the cheap
+    /// diagonal scaling refreshes every step.
+    ///
+    /// Seeded from the K-FAC outer product when no corrected moments exist
+    /// yet, so the first EK-FAC step after an eigendecomposition update
+    /// coincides with plain K-FAC.
+    pub fn precondition_ekfac(&mut self, grad: &Matrix, damping: f32, decay: f32) -> Matrix {
+        let qa = self.qa.as_ref().expect("Q_A not cached on this rank");
+        let qg = self.qg.as_ref().expect("Q_G not cached on this rank");
+        let v1 = qg.matmul_tn(grad).matmul(qa);
+
+        // Update the corrected second moments from this step's projection.
+        let mut sq = v1.clone();
+        sq.hadamard_assign(&v1);
+        match self.ekfac_scale.as_mut() {
+            Some(s) => s.axpby(1.0 - decay, &sq, decay),
+            None => {
+                // Seed with K-FAC's eigenvalue outer product (the prior the
+                // corrected moments refine): recover it from `outer`, which
+                // stores 1/(v_G v_Aᵀ + γ).
+                let seed = match &self.outer {
+                    Some(outer) => {
+                        let mut s = outer.map(|x| 1.0 / x - damping);
+                        s.map_inplace(|x| x.max(0.0));
+                        s
+                    }
+                    None => sq,
+                };
+                self.ekfac_scale = Some(seed);
+            }
+        }
+        let scale = self.ekfac_scale.as_ref().expect("just initialized");
+        let mut v2 = v1;
+        for (v, s) in v2.as_mut_slice().iter_mut().zip(scale.as_slice()) {
+            *v /= s.max(0.0) + damping;
+        }
+        qg.matmul(&v2).matmul_nt(qa)
+    }
+
+    /// Precondition through the damped direct inverses (Eq. 14 fallback).
+    pub fn precondition_inverse(&self, grad: &Matrix) -> Matrix {
+        let inv_a = self.inv_a.as_ref().expect("A inverse not cached");
+        let inv_g = self.inv_g.as_ref().expect("G inverse not cached");
+        inv_g.matmul(grad).matmul(inv_a)
+    }
+
+    /// Bytes of K-FAC state held on this rank at the given storage
+    /// precision — the quantity summed into the paper's "K-FAC memory
+    /// overhead" (Table 5 / Figure 6).
+    pub fn memory_bytes(&self, precision: Precision) -> usize {
+        let b = precision.bytes_per_element();
+        let mat = |m: &Option<Matrix>| m.as_ref().map_or(0, |m| m.numel() * b);
+        let vec = |v: &Option<Vec<f32>>| v.as_ref().map_or(0, |v| v.len() * b);
+        mat(&self.factor_a)
+            + mat(&self.factor_g)
+            + mat(&self.qa)
+            + mat(&self.qg)
+            + mat(&self.outer)
+            + mat(&self.inv_a)
+            + mat(&self.inv_g)
+            + mat(&self.ekfac_scale)
+            + vec(&self.va)
+            + vec(&self.vg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_tensor::Rng;
+
+    fn random_psd(n: usize, rng: &mut Rng) -> Matrix {
+        let a = Matrix::randn(n, n, 1.0, rng);
+        let mut s = a.matmul_tn(&a);
+        s.scale(1.0 / n as f32);
+        s
+    }
+
+    #[test]
+    fn running_average_first_then_decay() {
+        let mut state = KfacLayerState::new("l", 2, 2);
+        let a1 = Matrix::identity(2);
+        let g1 = Matrix::identity(2).scaled(2.0);
+        state.update_factors(a1.clone(), g1.clone(), 0.9);
+        assert_eq!(state.factor_a.as_ref().unwrap(), &a1, "first update is a copy");
+        let a2 = Matrix::identity(2).scaled(3.0);
+        state.update_factors(a2, g1.clone(), 0.9);
+        // 0.9*1 + 0.1*3 = 1.2 on the diagonal.
+        assert!((state.factor_a.as_ref().unwrap().get(0, 0) - 1.2).abs() < 1e-6);
+    }
+
+    /// Kronecker product (row-major convention): `(B ⊗ C) vec_row(X) =
+    /// vec_row(B X Cᵀ)`.
+    fn kron(b: &Matrix, c: &Matrix) -> Matrix {
+        let (bm, bn) = b.shape();
+        let (cm, cn) = c.shape();
+        Matrix::from_fn(bm * cm, bn * cn, |r, col| {
+            b.get(r / cm, col / cn) * c.get(r % cm, col % cn)
+        })
+    }
+
+    #[test]
+    fn eigen_precondition_is_exact_damped_kronecker_inverse() {
+        // Eq. 15–17 computes (Â⊗Ĝ + γI)⁻¹ ∇L *exactly*. Verify against the
+        // explicit Kronecker matrix: with grad flattened row-major (g_dim
+        // rows of a_dim), the operator G·grad·A corresponds to kron(G, A).
+        let mut rng = Rng::seed_from_u64(201);
+        let damping = 0.01;
+        let (a_dim, g_dim) = (4, 3);
+        let mut state = KfacLayerState::new("eq", a_dim, g_dim);
+        let a = random_psd(a_dim, &mut rng);
+        let g = random_psd(g_dim, &mut rng);
+        state.update_factors(a.clone(), g.clone(), 0.0);
+
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, damping));
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+
+        let grad = Matrix::randn(g_dim, a_dim, 1.0, &mut rng);
+        let via_eigen = state.precondition_eigen(&grad, damping);
+
+        // Explicit: (kron(G, A) + γI)⁻¹ vec_row(grad).
+        let mut k = kron(&g, &a);
+        k.add_diag(damping);
+        let k_inv = kaisa_linalg::lu_inverse(&k).expect("damped Kronecker is invertible");
+        let flat = Matrix::from_vec(g_dim * a_dim, 1, grad.as_slice().to_vec());
+        let expect_flat = k_inv.matmul(&flat);
+        let expect = Matrix::from_vec(g_dim, a_dim, expect_flat.into_vec());
+
+        assert!(
+            via_eigen.max_abs_diff(&expect) < 1e-3,
+            "eigen method deviates from exact damped inverse by {}",
+            via_eigen.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn inverse_fallback_approximates_eigen_at_small_damping() {
+        // (A+γI)⁻¹⊗(G+γI)⁻¹ (Eq. 12) differs from (Â⊗Ĝ+γI)⁻¹ (Eq. 15–17)
+        // by O(γ) cross terms; at small damping they must agree closely.
+        let mut rng = Rng::seed_from_u64(204);
+        let damping = 1e-4;
+        let mut state = KfacLayerState::new("approx", 5, 4);
+        let mut a = random_psd(5, &mut rng);
+        a.add_diag(0.5); // keep well-conditioned so γ is truly small
+        let mut g = random_psd(4, &mut rng);
+        g.add_diag(0.5);
+        state.update_factors(a, g, 0.0);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, damping));
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+        state.compute_inverses(damping);
+
+        let grad = Matrix::randn(4, 5, 1.0, &mut rng);
+        let via_eigen = state.precondition_eigen(&grad, damping);
+        let via_inverse = state.precondition_inverse(&grad);
+        let rel = via_eigen.max_abs_diff(&via_inverse) / via_eigen.max_abs().max(1e-9);
+        assert!(rel < 0.01, "methods differ by {rel} relative at tiny damping");
+    }
+
+    #[test]
+    fn ablation_path_matches_precomputed_outer() {
+        let mut rng = Rng::seed_from_u64(202);
+        let damping = 0.003;
+        let mut state = KfacLayerState::new("ab", 5, 5);
+        state.update_factors(random_psd(5, &mut rng), random_psd(5, &mut rng), 0.0);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+
+        let grad = Matrix::randn(5, 5, 1.0, &mut rng);
+        // Path 1: precomputed outer.
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, damping));
+        let fast = state.precondition_eigen(&grad, damping);
+        // Path 2: recompute from eigenvalues.
+        state.outer = None;
+        state.va = Some(va);
+        state.vg = Some(vg);
+        let slow = state.precondition_eigen(&grad, damping);
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn preconditioning_shrinks_high_curvature_directions() {
+        // With A = diag(100, 1) and G = I, the preconditioner must shrink
+        // the first column of the gradient ~100x more than the second.
+        let mut state = KfacLayerState::new("hc", 2, 2);
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 100.0);
+        a.set(1, 1, 1.0);
+        state.update_factors(a, Matrix::identity(2), 0.0);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, 0.001));
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+        let grad = Matrix::full(2, 2, 1.0);
+        let p = state.precondition_eigen(&grad, 0.001);
+        let ratio = p.get(0, 1) / p.get(0, 0);
+        assert!(ratio > 50.0, "curvature scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_accounting_tracks_population() {
+        let mut rng = Rng::seed_from_u64(203);
+        let mut state = KfacLayerState::new("mem", 8, 4);
+        assert_eq!(state.memory_bytes(Precision::Fp32), 0);
+        state.update_factors(random_psd(8, &mut rng), random_psd(4, &mut rng), 0.0);
+        let factors_only = state.memory_bytes(Precision::Fp32);
+        assert_eq!(factors_only, (64 + 16) * 4);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, 0.003));
+        let with_eig = state.memory_bytes(Precision::Fp32);
+        assert_eq!(with_eig, factors_only + (64 + 16 + 32) * 4);
+        // Half precision halves it.
+        assert_eq!(state.memory_bytes(Precision::Fp16), with_eig / 2);
+    }
+
+    #[test]
+    fn ekfac_first_step_matches_kfac_then_adapts() {
+        // With the scale seeded from the K-FAC outer product, the first
+        // EK-FAC step equals plain K-FAC; subsequent steps incorporate the
+        // corrected moments and diverge.
+        let mut rng = Rng::seed_from_u64(205);
+        let damping = 0.003;
+        let mut state = KfacLayerState::new("ek", 5, 4);
+        state.update_factors(random_psd(5, &mut rng), random_psd(4, &mut rng), 0.0);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, damping));
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+
+        let grad = Matrix::randn(4, 5, 1.0, &mut rng);
+        let kfac = state.precondition_eigen(&grad, damping);
+        let ek1 = state.precondition_ekfac(&grad, damping, 0.95);
+        assert!(
+            ek1.max_abs_diff(&kfac) < 1e-5,
+            "seeded EK-FAC must match K-FAC: {}",
+            ek1.max_abs_diff(&kfac)
+        );
+        // Feed several steps of a different gradient: the corrected moments
+        // shift and the output departs from plain K-FAC.
+        let grad2 = Matrix::randn(4, 5, 3.0, &mut rng);
+        let mut last = Matrix::zeros(4, 5);
+        for _ in 0..10 {
+            last = state.precondition_ekfac(&grad2, damping, 0.5);
+        }
+        let kfac2 = state.precondition_eigen(&grad2, damping);
+        assert!(
+            last.max_abs_diff(&kfac2) > 1e-4,
+            "corrected moments should change the preconditioner"
+        );
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn ekfac_scale_converges_to_squared_projection() {
+        // Repeating one gradient drives S -> V1 squared, so the
+        // preconditioned projection approaches V1 / (V1 squared + damping).
+        let mut rng = Rng::seed_from_u64(206);
+        let damping = 0.01;
+        let mut state = KfacLayerState::new("fix", 3, 3);
+        state.update_factors(random_psd(3, &mut rng), random_psd(3, &mut rng), 0.0);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, damping));
+        state.qa = Some(qa.clone());
+        state.qg = Some(qg.clone());
+        let grad = Matrix::randn(3, 3, 1.0, &mut rng);
+        for _ in 0..200 {
+            let _ = state.precondition_ekfac(&grad, damping, 0.9);
+        }
+        let v1 = qg.matmul_tn(&grad).matmul(&qa);
+        let scale = state.ekfac_scale.as_ref().unwrap();
+        for (s, v) in scale.as_slice().iter().zip(v1.as_slice()) {
+            assert!((s - v * v).abs() < 0.05 * (v * v).max(0.05), "s={s} v2={}", v * v);
+        }
+    }
+
+    #[test]
+    fn damping_bounds_preconditioned_magnitude() {
+        // Even a singular factor must produce finite output: the damped
+        // denominator is ≥ γ.
+        let mut state = KfacLayerState::new("sing", 3, 3);
+        let v = [1.0f32, 1.0, 1.0];
+        state.update_factors(Matrix::outer(&v, &v), Matrix::outer(&v, &v), 0.0);
+        let (qa, va) = state.eig_a();
+        let (qg, vg) = state.eig_g();
+        state.qa = Some(qa);
+        state.qg = Some(qg);
+        state.outer = Some(KfacLayerState::compute_outer(&vg, &va, 0.003));
+        let grad = Matrix::full(3, 3, 1.0);
+        let p = state.precondition_eigen(&grad, 0.003);
+        assert!(p.is_finite());
+        assert!(p.max_abs() <= 1.0 / 0.003 * grad.max_abs() * 9.0);
+    }
+}

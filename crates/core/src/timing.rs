@@ -1,0 +1,128 @@
+//! Stage-level timing of `Kfac::step()` — the instrumentation behind the
+//! paper's Figure 7 breakdown.
+
+use std::time::Instant;
+
+/// The stages of `KFAC.step()` in the order Figure 7 reports them.
+pub const KFAC_STAGES: [&str; 7] = [
+    "compute factors",
+    "communicate factors",
+    "compute eigendecomp",
+    "communicate eigendecomp",
+    "precondition gradient",
+    "communicate gradient",
+    "scale and update grads",
+];
+
+/// Accumulated wall seconds per stage, plus step counts for averaging.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimes {
+    seconds: [f64; 7],
+    /// Total `step()` calls timed.
+    pub steps: u64,
+}
+
+/// Stage indices (match [`KFAC_STAGES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Factor averaging / statistics finalization.
+    FactorCompute = 0,
+    /// Factor allreduce.
+    FactorComm = 1,
+    /// Eigendecomposition (or inverse) computation.
+    EigCompute = 2,
+    /// Eigendecomposition broadcasts.
+    EigComm = 3,
+    /// Local gradient preconditioning.
+    Precondition = 4,
+    /// Preconditioned-gradient broadcasts.
+    GradComm = 5,
+    /// KL-clip scaling and writing gradients back.
+    Scale = 6,
+}
+
+impl StageTimes {
+    /// Fresh zeroed timer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` to one stage.
+    pub fn add(&mut self, stage: Stage, seconds: f64) {
+        self.seconds[stage as usize] += seconds;
+    }
+
+    /// Time a closure into a stage, returning its value.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(stage, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Total seconds in a stage.
+    pub fn total(&self, stage: Stage) -> f64 {
+        self.seconds[stage as usize]
+    }
+
+    /// Average seconds per step for each stage (Figure 7 series).
+    pub fn averages(&self) -> [f64; 7] {
+        let n = self.steps.max(1) as f64;
+        let mut out = self.seconds;
+        for v in out.iter_mut() {
+            *v /= n;
+        }
+        out
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Render a one-line-per-stage report.
+    pub fn report(&self) -> String {
+        let avgs = self.averages();
+        let mut out = String::new();
+        for (name, avg) in KFAC_STAGES.iter().zip(avgs) {
+            out.push_str(&format!("{name:<26} {:>10.3} ms/step\n", avg * 1e3));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_averages() {
+        let mut t = StageTimes::new();
+        t.add(Stage::Precondition, 0.5);
+        t.add(Stage::Precondition, 0.5);
+        t.add(Stage::GradComm, 0.25);
+        t.steps = 4;
+        assert_eq!(t.total(Stage::Precondition), 1.0);
+        let avgs = t.averages();
+        assert!((avgs[Stage::Precondition as usize] - 0.25).abs() < 1e-12);
+        assert!((avgs[Stage::GradComm as usize] - 0.0625).abs() < 1e-12);
+        assert!((t.total_seconds() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = StageTimes::new();
+        let v = t.time(Stage::EigCompute, || 42);
+        assert_eq!(v, 42);
+        assert!(t.total(Stage::EigCompute) >= 0.0);
+    }
+
+    #[test]
+    fn report_mentions_every_stage() {
+        let t = StageTimes::new();
+        let r = t.report();
+        for name in KFAC_STAGES {
+            assert!(r.contains(name));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense-feature classification datasets.
+
+use kaisa_tensor::{Matrix, Rng};
+
+use crate::loader::Dataset;
+
+/// Gaussian mixture classification: `classes` isotropic clusters in
+/// `features`-dimensional space. Linearly separable at large margins, so
+/// convergence behaviour is clean and fast — the quickstart dataset.
+#[derive(Debug, Clone)]
+pub struct GaussianBlobs {
+    features: usize,
+    classes: usize,
+    inputs: Matrix,
+    labels: Vec<usize>,
+}
+
+impl GaussianBlobs {
+    /// Generate `samples` points across `classes` clusters with the given
+    /// intra-cluster standard deviation (cluster centers have unit scale).
+    pub fn generate(samples: usize, features: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        // Random unit-scale class centers.
+        let centers = Matrix::randn(classes, features, 1.0, &mut rng);
+        let mut inputs = Matrix::zeros(samples, features);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % classes;
+            labels.push(class);
+            let row = inputs.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = centers.get(class, j) + noise * rng.normal();
+            }
+        }
+        GaussianBlobs { features, classes, inputs, labels }
+    }
+
+    /// Feature dimensionality.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Split off the last `val_count` samples as a validation set drawn from
+    /// the *same* class centers (generating a second dataset with another
+    /// seed would re-draw the centers and make validation meaningless).
+    pub fn split(self, val_count: usize) -> (Self, Self) {
+        assert!(val_count < self.len(), "validation split larger than dataset");
+        let train_count = self.len() - val_count;
+        let train = GaussianBlobs {
+            features: self.features,
+            classes: self.classes,
+            inputs: self.inputs.rows_slice(0, train_count),
+            labels: self.labels[..train_count].to_vec(),
+        };
+        let val = GaussianBlobs {
+            features: self.features,
+            classes: self.classes,
+            inputs: self.inputs.rows_slice(train_count, train_count + val_count),
+            labels: self.labels[train_count..].to_vec(),
+        };
+        (train, val)
+    }
+}
+
+impl Dataset for GaussianBlobs {
+    type Input = Matrix;
+    type Target = Vec<usize>;
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn batch(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
+        let mut x = Matrix::zeros(indices.len(), self.features);
+        let mut y = Vec::with_capacity(indices.len());
+        for (r, &idx) in indices.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(self.inputs.row(idx));
+            y.push(self.labels[idx]);
+        }
+        (x, y)
+    }
+}
+
+/// Two-dimensional interleaved spirals lifted into `features` dimensions —
+/// non-linearly separable, so second-order vs. first-order convergence
+/// differences show up clearly.
+#[derive(Debug, Clone)]
+pub struct SpiralDataset {
+    features: usize,
+    classes: usize,
+    inputs: Matrix,
+    labels: Vec<usize>,
+}
+
+impl SpiralDataset {
+    /// Generate interleaved spirals. `features >= 2`; extra dimensions are
+    /// random rotations of the base 2-D coordinates plus noise.
+    pub fn generate(samples: usize, features: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        assert!(features >= 2, "spiral needs at least 2 features");
+        let mut rng = Rng::seed_from_u64(seed);
+        // A random projection matrix lifting 2-D spirals to `features` dims.
+        let lift = Matrix::randn(2, features, 1.0, &mut rng);
+        let mut inputs = Matrix::zeros(samples, features);
+        let mut labels = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let class = i % classes;
+            labels.push(class);
+            let t = (i / classes) as f32 / ((samples / classes).max(1)) as f32; // 0..1
+            let radius = 0.2 + 0.8 * t;
+            let angle = 2.5 * std::f32::consts::PI * t
+                + (class as f32) * 2.0 * std::f32::consts::PI / classes as f32;
+            let p = [radius * angle.cos(), radius * angle.sin()];
+            let row = inputs.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = p[0] * lift.get(0, j) + p[1] * lift.get(1, j) + noise * rng.normal();
+            }
+        }
+        SpiralDataset { features, classes, inputs, labels }
+    }
+
+    /// Feature dimensionality.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Split off every 5th sample as a validation set sharing the same
+    /// random lift (a fresh generation would re-draw the projection and
+    /// decorrelate train/val). Returns `(train, val)`.
+    pub fn split_fifth(self) -> (Self, Self) {
+        let mut train_rows = Vec::new();
+        let mut train_labels = Vec::new();
+        let mut val_rows = Vec::new();
+        let mut val_labels = Vec::new();
+        for i in 0..self.len() {
+            if i % 5 == 4 {
+                val_rows.extend_from_slice(self.inputs.row(i));
+                val_labels.push(self.labels[i]);
+            } else {
+                train_rows.extend_from_slice(self.inputs.row(i));
+                train_labels.push(self.labels[i]);
+            }
+        }
+        let f = self.features;
+        let c = self.classes;
+        (
+            SpiralDataset {
+                features: f,
+                classes: c,
+                inputs: kaisa_tensor::Matrix::from_vec(train_labels.len(), f, train_rows),
+                labels: train_labels,
+            },
+            SpiralDataset {
+                features: f,
+                classes: c,
+                inputs: kaisa_tensor::Matrix::from_vec(val_labels.len(), f, val_rows),
+                labels: val_labels,
+            },
+        )
+    }
+}
+
+impl Dataset for SpiralDataset {
+    type Input = Matrix;
+    type Target = Vec<usize>;
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn batch(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
+        let mut x = Matrix::zeros(indices.len(), self.features);
+        let mut y = Vec::with_capacity(indices.len());
+        for (r, &idx) in indices.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(self.inputs.row(idx));
+            y.push(self.labels[idx]);
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shapes_and_balance() {
+        let ds = GaussianBlobs::generate(90, 8, 3, 0.1, 1);
+        assert_eq!(ds.len(), 90);
+        let (x, y) = ds.batch(&[0, 1, 2]);
+        assert_eq!(x.shape(), (3, 8));
+        assert_eq!(y, vec![0, 1, 2]);
+        // Class balance.
+        let counts = (0..3)
+            .map(|c| (0..90).filter(|&i| ds.labels[i] == c).count())
+            .collect::<Vec<_>>();
+        assert_eq!(counts, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn blobs_are_separable_at_low_noise() {
+        let ds = GaussianBlobs::generate(300, 4, 3, 0.05, 2);
+        // Nearest-centroid classification should be nearly perfect.
+        let mut centroids = vec![vec![0.0f32; 4]; 3];
+        let mut counts = vec![0usize; 3];
+        for i in 0..300 {
+            let c = ds.labels[i];
+            counts[c] += 1;
+            for j in 0..4 {
+                centroids[c][j] += ds.inputs.get(i, j);
+            }
+        }
+        for c in 0..3 {
+            for v in centroids[c].iter_mut() {
+                *v /= counts[c] as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..300 {
+            let mut best = (f32::INFINITY, 0usize);
+            for (c, cen) in centroids.iter().enumerate() {
+                let d: f32 = (0..4).map(|j| (ds.inputs.get(i, j) - cen[j]).powi(2)).sum();
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            if best.1 == ds.labels[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct > 295, "separable dataset: {correct}/300");
+    }
+
+    #[test]
+    fn spiral_reproducible() {
+        let a = SpiralDataset::generate(60, 6, 2, 0.01, 9);
+        let b = SpiralDataset::generate(60, 6, 2, 0.01, 9);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.labels, b.labels);
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic masked-token language modeling (the Wikipedia/BookCorpus
+//! stand-in for BERT pretraining).
+
+use kaisa_nn::models::TokenBatch;
+use kaisa_tensor::Rng;
+
+use crate::loader::Dataset;
+
+/// The generative rules behind the synthetic corpus.
+///
+/// Sequences are drawn from a first-order Markov chain with a strongly
+/// peaked transition matrix: from token `t` the successor is
+/// `(a·t + b) mod vocab` with high probability, uniform otherwise. A masked
+/// position is therefore predictable from its neighbours — the property BERT
+/// pretraining exploits — with an irreducible noise floor set by
+/// `rule_probability`.
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceRules {
+    /// Vocabulary size (token 0 is reserved as `[MASK]`).
+    pub vocab: usize,
+    /// Multiplier of the affine successor rule.
+    pub mult: usize,
+    /// Offset of the affine successor rule.
+    pub offset: usize,
+    /// Probability a transition follows the rule (vs. uniform noise).
+    pub rule_probability: f64,
+}
+
+impl Default for SequenceRules {
+    fn default() -> Self {
+        SequenceRules { vocab: 32, mult: 1, offset: 7, rule_probability: 0.9 }
+    }
+}
+
+/// Pre-generated corpus of token sequences with BERT-style masking.
+#[derive(Debug, Clone)]
+pub struct MaskedTokenTask {
+    rules: SequenceRules,
+    seq_len: usize,
+    sequences: Vec<Vec<usize>>,
+    mask_prob: f64,
+    mask_seed: u64,
+}
+
+impl MaskedTokenTask {
+    /// Generate `samples` sequences of length `seq_len`.
+    pub fn generate(
+        samples: usize,
+        seq_len: usize,
+        rules: SequenceRules,
+        mask_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(rules.vocab > 2, "vocabulary too small");
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut sequences = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut seq = Vec::with_capacity(seq_len);
+            // Start anywhere except the reserved mask token.
+            let mut tok = 1 + rng.index(rules.vocab - 1);
+            seq.push(tok);
+            for _ in 1..seq_len {
+                tok = if rng.bernoulli(rules.rule_probability) {
+                    let next = (rules.mult * tok + rules.offset) % rules.vocab;
+                    if next == 0 {
+                        1
+                    } else {
+                        next
+                    }
+                } else {
+                    1 + rng.index(rules.vocab - 1)
+                };
+                seq.push(tok);
+            }
+            sequences.push(seq);
+        }
+        MaskedTokenTask { rules, seq_len, sequences, mask_prob, mask_seed: seed ^ 0xDEAD_BEEF }
+    }
+
+    /// The generative rules.
+    pub fn rules(&self) -> SequenceRules {
+        self.rules
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+}
+
+impl Dataset for MaskedTokenTask {
+    type Input = TokenBatch;
+    type Target = ();
+
+    fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    fn batch(&self, indices: &[usize]) -> (TokenBatch, ()) {
+        // Masking is deterministic per (sequence index), so a batch is
+        // reproducible regardless of which rank materializes it.
+        let rows = indices.len() * self.seq_len;
+        let mut tokens = Vec::with_capacity(rows);
+        let mut labels = vec![None; rows];
+        for (b, &idx) in indices.iter().enumerate() {
+            let mut mask_rng = Rng::seed_from_u64(self.mask_seed ^ (idx as u64) << 17);
+            let seq = &self.sequences[idx];
+            for (p, &tok) in seq.iter().enumerate() {
+                if mask_rng.bernoulli(self.mask_prob) {
+                    labels[b * self.seq_len + p] = Some(tok);
+                    tokens.push(0); // [MASK]
+                } else {
+                    tokens.push(tok);
+                }
+            }
+        }
+        (TokenBatch { tokens, batch: indices.len(), seq: self.seq_len, labels }, ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_shape_and_mask_rate() {
+        let task = MaskedTokenTask::generate(50, 16, SequenceRules::default(), 0.2, 1);
+        let (batch, _) = task.batch(&(0..50).collect::<Vec<_>>());
+        assert_eq!(batch.tokens.len(), 800);
+        assert_eq!(batch.batch, 50);
+        assert_eq!(batch.seq, 16);
+        let masked = batch.labels.iter().filter(|l| l.is_some()).count();
+        let rate = masked as f64 / 800.0;
+        assert!((rate - 0.2).abs() < 0.06, "mask rate {rate}");
+        // Every masked position has token 0.
+        for (t, l) in batch.tokens.iter().zip(&batch.labels) {
+            if l.is_some() {
+                assert_eq!(*t, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_follow_rule_mostly() {
+        let rules = SequenceRules { vocab: 32, mult: 1, offset: 7, rule_probability: 1.0 };
+        let task = MaskedTokenTask::generate(5, 20, rules, 0.0, 2);
+        let (batch, _) = task.batch(&[0]);
+        for w in batch.tokens.windows(2) {
+            let expect = (w[0] + 7) % 32;
+            let expect = if expect == 0 { 1 } else { expect };
+            assert_eq!(w[1], expect);
+        }
+    }
+
+    #[test]
+    fn masking_is_deterministic_per_sequence() {
+        let task = MaskedTokenTask::generate(10, 8, SequenceRules::default(), 0.3, 3);
+        let (a, _) = task.batch(&[4]);
+        let (b, _) = task.batch(&[4]);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn no_mask_token_in_unmasked_corpus() {
+        let task = MaskedTokenTask::generate(20, 16, SequenceRules::default(), 0.0, 4);
+        let (batch, _) = task.batch(&(0..20).collect::<Vec<_>>());
+        assert!(batch.tokens.iter().all(|&t| t != 0), "token 0 is reserved for [MASK]");
+    }
+}

@@ -1,0 +1,26 @@
+//! # kaisa-data
+//!
+//! Deterministic synthetic datasets standing in for the paper's corpora
+//! (ImageNet, COCO, the LGG MRI set, Wikipedia+BookCorpus), plus the
+//! distributed shard sampler that gives each rank a disjoint slice of every
+//! epoch — the data-parallel setup both MEM-OPT and COMM-OPT assume
+//! ("replicating the DNN across all processes and assigning a random local
+//! batch of training data to each process at each iteration", Section 2.2).
+//!
+//! Every generator is seeded, so convergence experiments are reproducible
+//! bit-for-bit across runs and across world sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classification;
+mod images;
+mod language;
+mod loader;
+mod segmentation;
+
+pub use classification::{GaussianBlobs, SpiralDataset};
+pub use images::PatternImages;
+pub use language::{MaskedTokenTask, SequenceRules};
+pub use loader::{Dataset, ShardSampler};
+pub use segmentation::BlobSegmentation;

@@ -1,0 +1,115 @@
+//! Dataset abstraction and the per-rank shard sampler.
+
+use kaisa_tensor::Rng;
+
+/// An indexable dataset that can materialize mini-batches.
+pub trait Dataset {
+    /// Batch input type (matches the model's `Input`).
+    type Input;
+    /// Batch target type.
+    type Target;
+
+    /// Number of examples.
+    fn len(&self) -> usize;
+
+    /// True if the dataset is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the examples at `indices` as one batch.
+    fn batch(&self, indices: &[usize]) -> (Self::Input, Self::Target);
+}
+
+/// Deterministic distributed sampler: each epoch is a seeded permutation of
+/// the dataset, split into contiguous per-rank shards, then into local
+/// batches. All ranks derive the identical permutation from
+/// `(seed, epoch)`, so shards are disjoint without communication — the same
+/// contract as PyTorch's `DistributedSampler`.
+#[derive(Debug, Clone)]
+pub struct ShardSampler {
+    dataset_len: usize,
+    world: usize,
+    rank: usize,
+    local_batch: usize,
+    seed: u64,
+}
+
+impl ShardSampler {
+    /// Create a sampler for `rank` of `world` with the given local batch
+    /// size. The effective global batch size is `world * local_batch`.
+    pub fn new(dataset_len: usize, world: usize, rank: usize, local_batch: usize, seed: u64) -> Self {
+        assert!(world > 0 && rank < world, "invalid rank {rank} of {world}");
+        assert!(local_batch > 0, "local batch must be positive");
+        ShardSampler { dataset_len, world, rank, local_batch, seed }
+    }
+
+    /// Examples each rank sees per epoch (dataset truncated to a multiple of
+    /// the world size, as `DistributedSampler(drop_last)` does).
+    pub fn shard_len(&self) -> usize {
+        self.dataset_len / self.world
+    }
+
+    /// Full local batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.shard_len() / self.local_batch
+    }
+
+    /// The local batch index lists for one epoch.
+    pub fn epoch_batches(&self, epoch: usize) -> Vec<Vec<usize>> {
+        let mut rng = Rng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9));
+        let perm = rng.permutation(self.dataset_len);
+        let shard_len = self.shard_len();
+        let start = self.rank * shard_len;
+        let shard = &perm[start..start + shard_len];
+        shard
+            .chunks(self.local_batch)
+            .filter(|c| c.len() == self.local_batch)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shards_are_disjoint_and_cover() {
+        let world = 4;
+        let samplers: Vec<_> =
+            (0..world).map(|r| ShardSampler::new(100, world, r, 5, 7)).collect();
+        let mut seen = HashSet::new();
+        for s in &samplers {
+            for batch in s.epoch_batches(0) {
+                for idx in batch {
+                    assert!(seen.insert(idx), "index {idx} appeared twice");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let s = ShardSampler::new(64, 2, 0, 8, 3);
+        let e0: Vec<usize> = s.epoch_batches(0).concat();
+        let e1: Vec<usize> = s.epoch_batches(1).concat();
+        assert_ne!(e0, e1, "epochs should shuffle differently");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = ShardSampler::new(50, 2, 1, 5, 11).epoch_batches(3);
+        let b = ShardSampler::new(50, 2, 1, 5, 11).epoch_batches(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uneven_dataset_truncates() {
+        let s = ShardSampler::new(103, 4, 0, 5, 1);
+        assert_eq!(s.shard_len(), 25);
+        assert_eq!(s.batches_per_epoch(), 5);
+    }
+}

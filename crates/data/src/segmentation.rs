@@ -1,0 +1,119 @@
+//! Synthetic binary segmentation (the LGG-MRI stand-in).
+
+use kaisa_tensor::{Rng, Tensor4};
+
+use crate::loader::Dataset;
+
+/// Elliptical-blob segmentation: each image contains a bright ellipse of
+/// random position/size/eccentricity over textured background noise; the
+/// target mask marks the ellipse. Structurally matches the tumor-segmentation
+/// task: a compact bright region of variable shape against noise.
+#[derive(Debug, Clone)]
+pub struct BlobSegmentation {
+    images: Tensor4,
+    masks: Tensor4,
+}
+
+impl BlobSegmentation {
+    /// Generate `samples` single-channel images of `size x size`.
+    pub fn generate(samples: usize, size: usize, noise: f32, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut images = Tensor4::zeros(samples, 1, size, size);
+        let mut masks = Tensor4::zeros(samples, 1, size, size);
+        for i in 0..samples {
+            let cx = rng.uniform(0.25, 0.75) * size as f32;
+            let cy = rng.uniform(0.25, 0.75) * size as f32;
+            let rx = rng.uniform(0.12, 0.3) * size as f32;
+            let ry = rng.uniform(0.12, 0.3) * size as f32;
+            let intensity = rng.uniform(1.0, 2.0);
+            for y in 0..size {
+                for x in 0..size {
+                    let dx = (x as f32 - cx) / rx;
+                    let dy = (y as f32 - cy) / ry;
+                    let inside = dx * dx + dy * dy <= 1.0;
+                    let base = if inside { intensity } else { 0.0 };
+                    images.set(i, 0, y, x, base + noise * rng.normal());
+                    if inside {
+                        masks.set(i, 0, y, x, 1.0);
+                    }
+                }
+            }
+        }
+        BlobSegmentation { images, masks }
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.images.h()
+    }
+}
+
+impl Dataset for BlobSegmentation {
+    type Input = Tensor4;
+    type Target = Tensor4;
+
+    fn len(&self) -> usize {
+        self.images.n()
+    }
+
+    fn batch(&self, indices: &[usize]) -> (Tensor4, Tensor4) {
+        let s = self.size();
+        let img_len = s * s;
+        let mut x = Tensor4::zeros(indices.len(), 1, s, s);
+        let mut y = Tensor4::zeros(indices.len(), 1, s, s);
+        for (r, &idx) in indices.iter().enumerate() {
+            x.as_mut_slice()[r * img_len..(r + 1) * img_len]
+                .copy_from_slice(self.images.image(idx));
+            y.as_mut_slice()[r * img_len..(r + 1) * img_len]
+                .copy_from_slice(self.masks.image(idx));
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_binary_and_nonempty() {
+        let ds = BlobSegmentation::generate(10, 16, 0.1, 3);
+        let (_, masks) = ds.batch(&(0..10).collect::<Vec<_>>());
+        let mut positives = 0usize;
+        for &v in masks.as_slice() {
+            assert!(v == 0.0 || v == 1.0);
+            if v == 1.0 {
+                positives += 1;
+            }
+        }
+        let frac = positives as f32 / masks.numel() as f32;
+        assert!(frac > 0.02 && frac < 0.6, "blob coverage {frac}");
+    }
+
+    #[test]
+    fn image_intensity_correlates_with_mask() {
+        let ds = BlobSegmentation::generate(20, 16, 0.1, 4);
+        let (imgs, masks) = ds.batch(&(0..20).collect::<Vec<_>>());
+        let mut inside = 0.0f64;
+        let mut outside = 0.0f64;
+        let mut n_in = 0usize;
+        let mut n_out = 0usize;
+        for (i, &m) in masks.as_slice().iter().enumerate() {
+            if m > 0.5 {
+                inside += imgs.as_slice()[i] as f64;
+                n_in += 1;
+            } else {
+                outside += imgs.as_slice()[i] as f64;
+                n_out += 1;
+            }
+        }
+        assert!(inside / n_in as f64 > outside / n_out as f64 + 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = BlobSegmentation::generate(5, 8, 0.2, 9);
+        let b = BlobSegmentation::generate(5, 8, 0.2, 9);
+        assert_eq!(a.batch(&[0, 4]).0, b.batch(&[0, 4]).0);
+    }
+}

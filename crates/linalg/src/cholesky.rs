@@ -1,0 +1,171 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! Used for the *direct inverse* preconditioning baseline of Eq. 12–14 of the
+//! KAISA paper, which the eigendecomposition method (Section 2.1.3) replaces.
+//! Keeping both lets the repository reproduce the paper's design ablation.
+
+use kaisa_tensor::Matrix;
+
+/// Failure of the Cholesky factorization (matrix not positive definite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyError {
+    /// The pivot index at which positive-definiteness failed.
+    pub pivot: usize,
+    /// The offending (non-positive) pivot value.
+    pub value: f32,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {} (value {})", self.pivot, self.value)
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `M = L Lᵀ`.
+///
+/// Only the lower triangle of `m` is referenced. Computation is in `f64`.
+pub fn cholesky(m: &Matrix) -> Result<Matrix, CholeskyError> {
+    assert!(m.is_square(), "cholesky requires a square matrix");
+    let n = m.rows();
+    let mut l = vec![0.0f64; n * n];
+    for j in 0..n {
+        let mut diag = m.get(j, j) as f64;
+        for k in 0..j {
+            diag -= l[j * n + k] * l[j * n + k];
+        }
+        if diag <= 0.0 {
+            return Err(CholeskyError { pivot: j, value: diag as f32 });
+        }
+        let ljj = diag.sqrt();
+        l[j * n + j] = ljj;
+        for i in (j + 1)..n {
+            let mut v = m.get(i, j) as f64;
+            for k in 0..j {
+                v -= l[i * n + k] * l[j * n + k];
+            }
+            l[i * n + j] = v / ljj;
+        }
+    }
+    Ok(Matrix::from_vec(n, n, l.into_iter().map(|v| v as f32).collect()))
+}
+
+/// Solve `M x = b` for SPD `M` given its Cholesky factor `L`.
+pub fn cholesky_solve(l: &Matrix, b: &[f32]) -> Vec<f32> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Forward substitution L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut v = b[i] as f64;
+        for k in 0..i {
+            v -= l.get(i, k) as f64 * y[k];
+        }
+        y[i] = v / l.get(i, i) as f64;
+    }
+    // Back substitution Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in (i + 1)..n {
+            v -= l.get(k, i) as f64 * x[k];
+        }
+        x[i] = v / l.get(i, i) as f64;
+    }
+    x.into_iter().map(|v| v as f32).collect()
+}
+
+/// Inverse of an SPD matrix via Cholesky (column-by-column solve).
+pub fn spd_inverse(m: &Matrix) -> Result<Matrix, CholeskyError> {
+    let n = m.rows();
+    let l = cholesky(m)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0f32; n];
+    for col in 0..n {
+        e[col] = 1.0;
+        let x = cholesky_solve(&l, &e);
+        for row in 0..n {
+            inv.set(row, col, x[row]);
+        }
+        e[col] = 0.0;
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_tensor::Rng;
+
+    fn random_spd(n: usize, rng: &mut Rng) -> Matrix {
+        let a = Matrix::randn(n, n, 1.0, rng);
+        let mut s = a.matmul_tn(&a);
+        s.scale(1.0 / n as f32);
+        s.add_diag(0.1);
+        s
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let mut rng = Rng::seed_from_u64(31);
+        for &n in &[1usize, 2, 5, 16, 40] {
+            let m = random_spd(n, &mut rng);
+            let l = cholesky(&m).unwrap();
+            let rec = l.matmul_nt(&l);
+            assert!(rec.max_abs_diff(&m) < 1e-4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let mut rng = Rng::seed_from_u64(32);
+        let m = random_spd(8, &mut rng);
+        let l = cholesky(&m).unwrap();
+        for r in 0..8 {
+            for c in (r + 1)..8 {
+                assert_eq!(l.get(r, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = Rng::seed_from_u64(33);
+        let m = random_spd(12, &mut rng);
+        let x_true: Vec<f32> = (0..12).map(|i| (i as f32 - 5.0) * 0.3).collect();
+        // b = M x
+        let xm = Matrix::from_vec(12, 1, x_true.clone());
+        let b = m.matmul(&xm);
+        let l = cholesky(&m).unwrap();
+        let x = cholesky_solve(&l, b.as_slice());
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = Rng::seed_from_u64(34);
+        let m = random_spd(10, &mut rng);
+        let inv = spd_inverse(&m).unwrap();
+        let prod = m.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(10)) < 1e-3);
+    }
+
+    #[test]
+    fn non_pd_matrix_rejected() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 2., 1.]); // eigenvalues 3, -1
+        assert!(cholesky(&m).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_rejected_without_damping_but_ok_with() {
+        let v = [1.0f32, 2.0, 3.0];
+        let m = Matrix::outer(&v, &v);
+        assert!(cholesky(&m).is_err(), "rank-1 matrix is not PD");
+        let mut damped = m.clone();
+        damped.add_diag(0.003); // the K-FAC Tikhonov path
+        assert!(cholesky(&damped).is_ok());
+    }
+}

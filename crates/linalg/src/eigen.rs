@@ -1,0 +1,411 @@
+//! Symmetric eigendecomposition: Householder tridiagonalization (`tred2`)
+//! followed by implicit-shift QL iteration (`tql2`).
+//!
+//! This is the EISPACK algorithm pair, computed in `f64`. For the factor
+//! sizes K-FAC produces (tens to a few thousand), it is robust and its
+//! O(n³) cost matches the complexity model KAISA's greedy work distribution
+//! assumes (Section 3.2 of the paper).
+
+use kaisa_tensor::Matrix;
+
+/// Result of a symmetric eigendecomposition `M = Q diag(values) Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f32>,
+    /// Orthonormal eigenvectors as *columns*: `vectors.get(i, j)` is
+    /// component `i` of the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Failure of the QL iteration to converge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EigenError {
+    /// Index of the eigenvalue that failed to converge.
+    pub index: usize,
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QL iteration failed to converge for eigenvalue {}", self.index)
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+/// Compute the eigendecomposition of a symmetric matrix.
+///
+/// Only the lower triangle of `m` is referenced (the matrix is assumed
+/// symmetric; K-FAC factors are symmetric by construction). Eigenvalues are
+/// returned in ascending order with matching eigenvector columns.
+///
+/// # Panics
+/// If `m` is not square.
+pub fn sym_eig(m: &Matrix) -> Result<SymEig, EigenError> {
+    assert!(m.is_square(), "sym_eig requires a square matrix");
+    let n = m.rows();
+    if n == 0 {
+        return Ok(SymEig { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+
+    // Work in f64.
+    let mut z: Vec<f64> = m.as_slice().iter().map(|&v| v as f64).collect();
+    // Force symmetry from the lower triangle so callers can pass
+    // almost-symmetric accumulations safely.
+    for r in 0..n {
+        for c in (r + 1)..n {
+            z[r * n + c] = z[c * n + r];
+        }
+    }
+    let mut d = vec![0.0f64; n];
+    let mut e = vec![0.0f64; n];
+
+    tred2(n, &mut z, &mut d, &mut e);
+    tql2(n, &mut d, &mut e, &mut z)?;
+
+    // Sort ascending, permuting eigenvector columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f32> = order.iter().map(|&i| d[i] as f32).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors.set(row, new_col, z[row * n + old_col] as f32);
+        }
+    }
+    Ok(SymEig { values, vectors })
+}
+
+impl SymEig {
+    /// Reconstruct `Q diag(values) Qᵀ` (mainly for testing/validation).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone(); // columns scaled by eigenvalue
+        for r in 0..n {
+            for c in 0..n {
+                scaled.set(r, c, scaled.get(r, c) * self.values[c]);
+            }
+        }
+        scaled.matmul_nt(&self.vectors)
+    }
+
+    /// The condition number `|λ_max| / |λ_min|` (infinite if singular).
+    pub fn condition_number(&self) -> f32 {
+        let max = self.values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let min = self.values.iter().fold(f32::INFINITY, |m, v| m.min(v.abs()));
+        if min == 0.0 {
+            f32::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+/// `sqrt(a² + b²)` without destructive overflow.
+fn pythag(a: f64, b: f64) -> f64 {
+    let (absa, absb) = (a.abs(), b.abs());
+    if absa > absb {
+        absa * (1.0 + (absb / absa).powi(2)).sqrt()
+    } else if absb == 0.0 {
+        0.0
+    } else {
+        absb * (1.0 + (absa / absb).powi(2)).sqrt()
+    }
+}
+
+/// Householder reduction of a real symmetric matrix (row-major in `a`) to
+/// tridiagonal form. On output `a` holds the orthogonal transform `Q`, `d`
+/// the diagonal, and `e` the sub-diagonal (with `e[0] = 0`).
+fn tred2(n: usize, a: &mut [f64], d: &mut [f64], e: &mut [f64]) {
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let mut scale = 0.0f64;
+            for k in 0..=l {
+                scale += a[i * n + k].abs();
+            }
+            if scale == 0.0 {
+                e[i] = a[i * n + l];
+            } else {
+                for k in 0..=l {
+                    a[i * n + k] /= scale;
+                    h += a[i * n + k] * a[i * n + k];
+                }
+                let mut f = a[i * n + l];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[i * n + l] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    a[j * n + i] = a[i * n + j] / h;
+                    let mut g = 0.0f64;
+                    for k in 0..=j {
+                        g += a[j * n + k] * a[i * n + k];
+                    }
+                    for k in (j + 1)..=l {
+                        g += a[k * n + j] * a[i * n + k];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * a[i * n + j];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = a[i * n + j];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        a[j * n + k] -= f * e[k] + g * a[i * n + k];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[i * n + l];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0f64;
+                for k in 0..i {
+                    g += a[i * n + k] * a[k * n + j];
+                }
+                for k in 0..i {
+                    a[k * n + j] -= g * a[k * n + i];
+                }
+            }
+        }
+        d[i] = a[i * n + i];
+        a[i * n + i] = 1.0;
+        for j in 0..i {
+            a[j * n + i] = 0.0;
+            a[i * n + j] = 0.0;
+        }
+    }
+}
+
+/// QL iteration with implicit shifts on a tridiagonal matrix, accumulating
+/// the eigenvectors into `z` (which must hold the `tred2` transform).
+fn tql2(n: usize, d: &mut [f64], e: &mut [f64], z: &mut [f64]) -> Result<(), EigenError> {
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find a small off-diagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 64 {
+                return Err(EigenError { index: l });
+            }
+            // Implicit shift from the 2x2 block at l.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g, 1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = pythag(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow: deflate and restart this l.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector columns.
+                for k in 0..n {
+                    f = z[k * n + i + 1];
+                    z[k * n + i + 1] = s * z[k * n + i] + c * f;
+                    z[k * n + i] = c * z[k * n + i] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_tensor::Rng;
+
+    fn random_symmetric(n: usize, rng: &mut Rng) -> Matrix {
+        let a = Matrix::randn(n, n, 1.0, rng);
+        let mut s = a.matmul_tn(&a); // aᵀa: symmetric PSD
+        s.scale(1.0 / n as f32);
+        s
+    }
+
+    fn assert_orthonormal(q: &Matrix, tol: f32) {
+        let qtq = q.matmul_tn(q);
+        let n = q.cols();
+        let diff = qtq.max_abs_diff(&Matrix::identity(n));
+        assert!(diff < tol, "QᵀQ deviates from I by {diff}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 2.0);
+        let eig = sym_eig(&m).unwrap();
+        assert_eq!(eig.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let m = Matrix::from_vec(2, 2, vec![2., 1., 1., 2.]);
+        let eig = sym_eig(&m).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-5);
+        assert!((eig.values[1] - 3.0).abs() < 1e-5);
+        assert_orthonormal(&eig.vectors, 1e-5);
+    }
+
+    #[test]
+    fn known_3x3_tridiagonal() {
+        // Tridiagonal [[2,-1,0],[-1,2,-1],[0,-1,2]]: eigenvalues 2 - sqrt(2),
+        // 2, 2 + sqrt(2).
+        let m = Matrix::from_vec(3, 3, vec![2., -1., 0., -1., 2., -1., 0., -1., 2.]);
+        let eig = sym_eig(&m).unwrap();
+        let s2 = 2.0f32.sqrt();
+        assert!((eig.values[0] - (2.0 - s2)).abs() < 1e-5);
+        assert!((eig.values[1] - 2.0).abs() < 1e-5);
+        assert!((eig.values[2] - (2.0 + s2)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_random_sizes() {
+        let mut rng = Rng::seed_from_u64(21);
+        for &n in &[1usize, 2, 3, 5, 8, 16, 33, 64] {
+            let m = random_symmetric(n, &mut rng);
+            let eig = sym_eig(&m).unwrap();
+            let rec = eig.reconstruct();
+            let err = rec.max_abs_diff(&m);
+            let scale = m.max_abs().max(1.0);
+            assert!(err < 1e-4 * scale, "n={n}: reconstruction error {err}");
+            assert_orthonormal(&eig.vectors, 1e-4);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_ascending() {
+        let mut rng = Rng::seed_from_u64(22);
+        let m = random_symmetric(20, &mut rng);
+        let eig = sym_eig(&m).unwrap();
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn psd_factor_has_nonnegative_eigenvalues() {
+        let mut rng = Rng::seed_from_u64(23);
+        let m = random_symmetric(24, &mut rng);
+        let eig = sym_eig(&m).unwrap();
+        for &v in &eig.values {
+            assert!(v > -1e-4, "PSD matrix produced eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let mut rng = Rng::seed_from_u64(24);
+        let m = random_symmetric(17, &mut rng);
+        let eig = sym_eig(&m).unwrap();
+        let tr = m.trace();
+        let ev_sum: f32 = eig.values.iter().sum();
+        assert!((tr - ev_sum).abs() < 1e-3 * tr.abs().max(1.0), "tr={tr} sum={ev_sum}");
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Outer product vvᵀ has rank 1: one eigenvalue |v|², rest 0.
+        let v = [1.0f32, 2.0, 3.0, 4.0];
+        let m = Matrix::outer(&v, &v);
+        let eig = sym_eig(&m).unwrap();
+        assert!((eig.values[3] - 30.0).abs() < 1e-4);
+        for &val in &eig.values[..3] {
+            assert!(val.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn identity_eigenvectors() {
+        let eig = sym_eig(&Matrix::identity(6)).unwrap();
+        for &v in &eig.values {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+        assert_orthonormal(&eig.vectors, 1e-6);
+    }
+
+    #[test]
+    fn negative_eigenvalues_handled() {
+        // [[0, 1], [1, 0]]: eigenvalues -1 and 1.
+        let m = Matrix::from_vec(2, 2, vec![0., 1., 1., 0.]);
+        let eig = sym_eig(&m).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-6);
+        assert!((eig.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e0 = sym_eig(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e0.values.is_empty());
+        let m = Matrix::from_vec(1, 1, vec![5.0]);
+        let e1 = sym_eig(&m).unwrap();
+        assert_eq!(e1.values, vec![5.0]);
+        assert_eq!(e1.vectors.get(0, 0).abs(), 1.0);
+    }
+
+    #[test]
+    fn ill_conditioned_but_damped_is_stable() {
+        // Mimics the K-FAC damping path: a nearly-singular factor plus γI
+        // must produce strictly positive eigenvalues ≥ γ.
+        let v = [1.0f32, 1.0, 1.0];
+        let mut m = Matrix::outer(&v, &v);
+        m.add_diag(0.003);
+        let eig = sym_eig(&m).unwrap();
+        for &val in &eig.values {
+            assert!(val >= 0.0029, "damped eigenvalue {val} below γ");
+        }
+    }
+}

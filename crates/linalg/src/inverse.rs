@@ -1,0 +1,119 @@
+//! General matrix inverse via LU decomposition with partial pivoting.
+
+use kaisa_tensor::Matrix;
+
+/// Invert a general square matrix. Returns `None` if singular to working
+/// precision. Computation is in `f64`.
+pub fn lu_inverse(m: &Matrix) -> Option<Matrix> {
+    assert!(m.is_square(), "lu_inverse requires a square matrix");
+    let n = m.rows();
+    if n == 0 {
+        return Some(Matrix::zeros(0, 0));
+    }
+    let mut a: Vec<f64> = m.as_slice().iter().map(|&v| v as f64).collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    // LU with partial pivoting, in place.
+    for col in 0..n {
+        // Pivot selection.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            perm.swap(col, pivot_row);
+        }
+        let inv_pivot = 1.0 / a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] * inv_pivot;
+            a[row * n + col] = factor;
+            for k in (col + 1)..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+        }
+    }
+
+    // Solve for each unit vector to build the inverse.
+    let mut inv = Matrix::zeros(n, n);
+    let mut y = vec![0.0f64; n];
+    let mut x = vec![0.0f64; n];
+    for col in 0..n {
+        // Forward substitution with the permuted unit rhs.
+        for i in 0..n {
+            let mut v = if perm[i] == col { 1.0 } else { 0.0 };
+            for k in 0..i {
+                v -= a[i * n + k] * y[k];
+            }
+            y[i] = v;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= a[i * n + k] * x[k];
+            }
+            x[i] = v / a[i * n + i];
+        }
+        for row in 0..n {
+            inv.set(row, col, x[row] as f32);
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_tensor::Rng;
+
+    #[test]
+    fn inverse_of_identity() {
+        let inv = lu_inverse(&Matrix::identity(5)).unwrap();
+        assert!(inv.max_abs_diff(&Matrix::identity(5)) < 1e-6);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let m = Matrix::from_vec(2, 2, vec![4., 7., 2., 6.]);
+        let inv = lu_inverse(&m).unwrap();
+        let expect = Matrix::from_vec(2, 2, vec![0.6, -0.7, -0.2, 0.4]);
+        assert!(inv.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn random_matrices_invert() {
+        let mut rng = Rng::seed_from_u64(41);
+        for &n in &[1usize, 3, 8, 20] {
+            let mut m = Matrix::randn(n, n, 1.0, &mut rng);
+            m.add_diag(2.0); // keep well-conditioned
+            let inv = lu_inverse(&m).unwrap();
+            let prod = m.matmul(&inv);
+            assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 2., 4.]);
+        assert!(lu_inverse(&m).is_none());
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero in the top-left: fails without partial pivoting.
+        let m = Matrix::from_vec(2, 2, vec![0., 1., 1., 0.]);
+        let inv = lu_inverse(&m).unwrap();
+        assert!(inv.max_abs_diff(&m) < 1e-6, "permutation matrix is its own inverse");
+    }
+}

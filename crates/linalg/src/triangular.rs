@@ -1,0 +1,87 @@
+//! Symmetric triangular packing.
+//!
+//! The Kronecker factors are symmetric, so KAISA's triangular factor
+//! communication (paper Section 4.3) sends only the upper triangle —
+//! `n(n+1)/2` elements instead of `n²` — and reconstructs the full matrix
+//! before the eigendecomposition stage. The paper found the pack/unpack
+//! overhead can outweigh the bandwidth savings on latency-bound networks;
+//! both paths are implemented here so the tradeoff can be measured.
+
+use kaisa_tensor::Matrix;
+
+/// Number of packed elements for an `n x n` symmetric matrix.
+pub const fn packed_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Pack the upper triangle (including the diagonal) of a symmetric matrix
+/// into a flat row-major triangle.
+///
+/// # Panics
+/// If `m` is not square.
+pub fn pack_upper(m: &Matrix) -> Vec<f32> {
+    assert!(m.is_square(), "pack_upper requires a square matrix");
+    let n = m.rows();
+    let mut out = Vec::with_capacity(packed_len(n));
+    for r in 0..n {
+        out.extend_from_slice(&m.row(r)[r..]);
+    }
+    out
+}
+
+/// Reconstruct the full symmetric matrix from a packed upper triangle.
+///
+/// # Panics
+/// If `packed.len() != packed_len(n)`.
+pub fn unpack_upper(packed: &[f32], n: usize) -> Matrix {
+    assert_eq!(packed.len(), packed_len(n), "packed length mismatch for n={n}");
+    let mut m = Matrix::zeros(n, n);
+    let mut idx = 0usize;
+    for r in 0..n {
+        for c in r..n {
+            m.set(r, c, packed[idx]);
+            m.set(c, r, packed[idx]);
+            idx += 1;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_tensor::Rng;
+
+    #[test]
+    fn packed_len_formula() {
+        assert_eq!(packed_len(0), 0);
+        assert_eq!(packed_len(1), 1);
+        assert_eq!(packed_len(4), 10);
+        assert_eq!(packed_len(100), 5050);
+    }
+
+    #[test]
+    fn roundtrip_symmetric() {
+        let mut rng = Rng::seed_from_u64(51);
+        for &n in &[0usize, 1, 2, 7, 32] {
+            let a = Matrix::randn(n, n.max(1), 1.0, &mut rng);
+            let mut s = if n == 0 { Matrix::zeros(0, 0) } else { a.matmul_nt(&a) };
+            if n > 0 {
+                s.symmetrize();
+            }
+            let packed = pack_upper(&s);
+            assert_eq!(packed.len(), packed_len(n));
+            let back = unpack_upper(&packed, n);
+            assert_eq!(back, s, "n={n}");
+        }
+    }
+
+    #[test]
+    fn volume_saving_is_roughly_half() {
+        let n = 1000;
+        let full = n * n;
+        let packed = packed_len(n);
+        let ratio = packed as f64 / full as f64;
+        assert!(ratio < 0.51 && ratio > 0.49);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests on the decompositions: reconstruction,
+//! orthogonality, and packing invariants over random symmetric matrices.
+
+use kaisa_linalg::{cholesky, lu_inverse, pack_upper, packed_len, sym_eig, unpack_upper};
+use kaisa_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    let a = Matrix::randn(n, n, 1.0, &mut rng);
+    let mut s = a.matmul_tn(&a);
+    s.scale(1.0 / n as f32);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eig_reconstructs(n in 1usize..24, seed in any::<u64>()) {
+        let m = random_symmetric(n, seed);
+        let eig = sym_eig(&m).unwrap();
+        let rec = eig.reconstruct();
+        let scale = m.max_abs().max(1.0);
+        prop_assert!(rec.max_abs_diff(&m) < 2e-4 * scale,
+            "n={} err={}", n, rec.max_abs_diff(&m));
+    }
+
+    #[test]
+    fn eig_vectors_orthonormal(n in 1usize..24, seed in any::<u64>()) {
+        let m = random_symmetric(n, seed);
+        let eig = sym_eig(&m).unwrap();
+        let qtq = eig.vectors.matmul_tn(&eig.vectors);
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(n)) < 1e-3);
+    }
+
+    #[test]
+    fn eig_values_sorted_and_trace_preserved(n in 1usize..24, seed in any::<u64>()) {
+        let m = random_symmetric(n, seed);
+        let eig = sym_eig(&m).unwrap();
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-5);
+        }
+        let sum: f32 = eig.values.iter().sum();
+        prop_assert!((sum - m.trace()).abs() < 1e-2 * m.trace().abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_with_damping(n in 1usize..20, seed in any::<u64>(), damping in 0.001f32..1.0) {
+        let mut m = random_symmetric(n, seed);
+        m.add_diag(damping);
+        let l = cholesky(&m).unwrap();
+        let rec = l.matmul_nt(&l);
+        prop_assert!(rec.max_abs_diff(&m) < 1e-3 * m.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn lu_inverse_is_inverse(n in 1usize..16, seed in any::<u64>()) {
+        let mut m = random_symmetric(n, seed);
+        m.add_diag(1.0); // keep well-conditioned
+        let inv = lu_inverse(&m).unwrap();
+        let prod = m.matmul(&inv);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-2);
+    }
+
+    #[test]
+    fn pack_roundtrip(n in 1usize..32, seed in any::<u64>()) {
+        let m = random_symmetric(n, seed);
+        let packed = pack_upper(&m);
+        prop_assert_eq!(packed.len(), packed_len(n));
+        prop_assert_eq!(unpack_upper(&packed, n), m);
+    }
+
+    #[test]
+    fn damped_eigenvalues_bounded_below(n in 2usize..16, seed in any::<u64>(), damping in 0.001f32..0.1) {
+        // The K-FAC stability guarantee: eigenvalues of M + γI are ≥ γ for
+        // PSD M, so the preconditioner's denominators never vanish.
+        let mut m = random_symmetric(n, seed);
+        m.add_diag(damping);
+        let eig = sym_eig(&m).unwrap();
+        for &v in &eig.values {
+            prop_assert!(v >= damping * 0.9, "eigenvalue {} below damping {}", v, damping);
+        }
+    }
+}

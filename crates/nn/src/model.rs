@@ -1,0 +1,223 @@
+//! The `Model` trait tying layers into trainable networks.
+//!
+//! Models expose three surfaces:
+//!
+//! 1. **Task surface** — `forward_backward` / `evaluate` with task-specific
+//!    input/target types.
+//! 2. **First-order surface** — flat parameter/gradient vectors with a named
+//!    per-layer segmentation (what SGD/Adam/LAMB and the data-parallel
+//!    gradient allreduce consume).
+//! 3. **Second-order surface** — the list of K-FAC-preconditionable layers
+//!    ([`crate::KfacAble`]), mirroring how KAISA registers `Conv2d` and
+//!    `Linear` modules of a PyTorch model (paper Listing 1).
+
+use kaisa_tensor::Matrix;
+
+use crate::capture::KfacAble;
+
+/// Loss/metric pair returned by training and evaluation steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Task metric (accuracy, Dice, masked accuracy, ...), in `[0, 1]`.
+    pub metric: f32,
+}
+
+/// One named segment of the flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSegment {
+    /// Layer-qualified parameter name.
+    pub name: String,
+    /// Number of elements.
+    pub len: usize,
+}
+
+/// Mutable view of one parameter tensor and its gradient.
+pub enum ParamRef<'a> {
+    /// A matrix-shaped parameter (weights).
+    Mat {
+        /// The parameter values.
+        w: &'a mut Matrix,
+        /// The accumulated gradient.
+        g: &'a mut Matrix,
+    },
+    /// A vector-shaped parameter (biases, norm scales/shifts).
+    Vec {
+        /// The parameter values.
+        w: &'a mut Vec<f32>,
+        /// The accumulated gradient.
+        g: &'a mut Vec<f32>,
+    },
+}
+
+/// A trainable network.
+pub trait Model: Send {
+    /// Input batch type (dense matrix, NCHW tensor, token batch, ...).
+    type Input;
+    /// Target type (class labels, masks, ...).
+    type Target;
+
+    /// Human-readable model name.
+    fn name(&self) -> &str;
+
+    /// Run forward and backward on one batch, accumulating parameter
+    /// gradients (of the mean loss) and K-FAC statistics when capture is on.
+    fn forward_backward(&mut self, x: &Self::Input, y: &Self::Target) -> EvalResult;
+
+    /// Evaluate without touching gradients or capture state.
+    fn evaluate(&mut self, x: &Self::Input, y: &Self::Target) -> EvalResult;
+
+    /// Visit every parameter/gradient pair in a stable order.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&str, ParamRef<'_>));
+
+    /// The K-FAC-preconditionable layers, in a stable order.
+    fn kfac_layers(&mut self) -> Vec<&mut dyn KfacAble>;
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.for_each_param(&mut |_, p| match p {
+            ParamRef::Mat { g, .. } => g.fill_zero(),
+            ParamRef::Vec { g, .. } => g.iter_mut().for_each(|v| *v = 0.0),
+        });
+    }
+
+    /// Flatten all parameters into one vector (stable order).
+    fn params_flat(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.for_each_param(&mut |_, p| match p {
+            ParamRef::Mat { w, .. } => out.extend_from_slice(w.as_slice()),
+            ParamRef::Vec { w, .. } => out.extend_from_slice(w),
+        });
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector.
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        let mut pos = 0usize;
+        self.for_each_param(&mut |_, p| match p {
+            ParamRef::Mat { w, .. } => {
+                let len = w.numel();
+                w.as_mut_slice().copy_from_slice(&flat[pos..pos + len]);
+                pos += len;
+            }
+            ParamRef::Vec { w, .. } => {
+                let len = w.len();
+                w.copy_from_slice(&flat[pos..pos + len]);
+                pos += len;
+            }
+        });
+        assert_eq!(pos, flat.len(), "flat parameter length mismatch");
+    }
+
+    /// Flatten all gradients into one vector (same order as parameters).
+    fn grads_flat(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.for_each_param(&mut |_, p| match p {
+            ParamRef::Mat { g, .. } => out.extend_from_slice(g.as_slice()),
+            ParamRef::Vec { g, .. } => out.extend_from_slice(g),
+        });
+        out
+    }
+
+    /// Overwrite all gradients from a flat vector (after an allreduce).
+    fn set_grads_flat(&mut self, flat: &[f32]) {
+        let mut pos = 0usize;
+        self.for_each_param(&mut |_, p| match p {
+            ParamRef::Mat { g, .. } => {
+                let len = g.numel();
+                g.as_mut_slice().copy_from_slice(&flat[pos..pos + len]);
+                pos += len;
+            }
+            ParamRef::Vec { g, .. } => {
+                let len = g.len();
+                g.copy_from_slice(&flat[pos..pos + len]);
+                pos += len;
+            }
+        });
+        assert_eq!(pos, flat.len(), "flat gradient length mismatch");
+    }
+
+    /// Named segmentation of the flat vectors (LAMB needs per-layer norms).
+    fn param_segments(&mut self) -> Vec<ParamSegment> {
+        let mut out = Vec::new();
+        self.for_each_param(&mut |name, p| {
+            let len = match p {
+                ParamRef::Mat { w, .. } => w.numel(),
+                ParamRef::Vec { w, .. } => w.len(),
+            };
+            out.push(ParamSegment { name: name.to_string(), len });
+        });
+        out
+    }
+
+    /// Total trainable parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0usize;
+        self.for_each_param(&mut |_, p| {
+            n += match p {
+                ParamRef::Mat { w, .. } => w.numel(),
+                ParamRef::Vec { w, .. } => w.len(),
+            };
+        });
+        n
+    }
+
+    /// Enable or disable K-FAC statistic capture on every preconditionable
+    /// layer (the preconditioner toggles this around factor-update steps).
+    fn set_kfac_capture(&mut self, enabled: bool) {
+        for layer in self.kfac_layers() {
+            layer.capture_mut().enabled = enabled;
+        }
+    }
+}
+
+/// Visit a [`crate::Linear`] layer's parameters (helper for model impls).
+pub(crate) fn visit_linear(
+    layer: &mut crate::Linear,
+    prefix: &str,
+    f: &mut dyn FnMut(&str, ParamRef<'_>),
+) {
+    f(
+        &format!("{prefix}.weight"),
+        ParamRef::Mat { w: &mut layer.weight, g: &mut layer.grad_weight },
+    );
+    if let (Some(b), Some(gb)) = (&mut layer.bias, &mut layer.grad_bias) {
+        f(&format!("{prefix}.bias"), ParamRef::Vec { w: b, g: gb });
+    }
+}
+
+/// Visit a [`crate::Conv2d`] layer's parameters (helper for model impls).
+pub(crate) fn visit_conv(
+    layer: &mut crate::Conv2d,
+    prefix: &str,
+    f: &mut dyn FnMut(&str, ParamRef<'_>),
+) {
+    f(
+        &format!("{prefix}.weight"),
+        ParamRef::Mat { w: &mut layer.weight, g: &mut layer.grad_weight },
+    );
+    if let (Some(b), Some(gb)) = (&mut layer.bias, &mut layer.grad_bias) {
+        f(&format!("{prefix}.bias"), ParamRef::Vec { w: b, g: gb });
+    }
+}
+
+/// Visit a [`crate::norm::BatchNorm2d`] layer's parameters.
+pub(crate) fn visit_bn(
+    layer: &mut crate::norm::BatchNorm2d,
+    prefix: &str,
+    f: &mut dyn FnMut(&str, ParamRef<'_>),
+) {
+    f(&format!("{prefix}.gamma"), ParamRef::Vec { w: &mut layer.gamma, g: &mut layer.grad_gamma });
+    f(&format!("{prefix}.beta"), ParamRef::Vec { w: &mut layer.beta, g: &mut layer.grad_beta });
+}
+
+/// Visit a [`crate::norm::LayerNorm`] layer's parameters.
+pub(crate) fn visit_ln(
+    layer: &mut crate::norm::LayerNorm,
+    prefix: &str,
+    f: &mut dyn FnMut(&str, ParamRef<'_>),
+) {
+    f(&format!("{prefix}.gamma"), ParamRef::Vec { w: &mut layer.gamma, g: &mut layer.grad_gamma });
+    f(&format!("{prefix}.beta"), ParamRef::Vec { w: &mut layer.beta, g: &mut layer.grad_beta });
+}

@@ -1,0 +1,361 @@
+//! Transformer-encoder analogue of BERT-Large for masked-token pretraining.
+//!
+//! Matches the paper's treatment of BERT (Section 5.2): every transformer
+//! block is a stack of Linear layers (Q/K/V/O projections and the two FFN
+//! layers), *all of which are K-FAC preconditioned*, while the embedding
+//! table and the vocabulary prediction head are **excluded** from
+//! preconditioning ("we do not use K-FAC to precondition the embedding layer
+//! and prediction head because both of these layers have a Kronecker factor
+//! with shape vocab_size × vocab_size").
+
+use kaisa_tensor::{Matrix, Rng};
+
+use crate::activation::Gelu;
+use crate::attention::MultiHeadAttention;
+use crate::capture::KfacAble;
+use crate::linear::Linear;
+use crate::loss::masked_cross_entropy;
+use crate::model::{visit_linear, visit_ln, EvalResult, Model, ParamRef};
+use crate::norm::LayerNorm;
+
+/// One batch of (possibly masked) token sequences.
+#[derive(Debug, Clone)]
+pub struct TokenBatch {
+    /// Token ids after masking, length `batch * seq`, sequence-major.
+    pub tokens: Vec<usize>,
+    /// Sequences in the batch.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Per-position prediction targets; `Some(original_id)` at masked
+    /// positions, `None` elsewhere.
+    pub labels: Vec<Option<usize>>,
+}
+
+/// Configuration for [`BertMini`].
+#[derive(Debug, Clone, Copy)]
+pub struct BertMiniConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model (residual stream) width.
+    pub d_model: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// FFN hidden width.
+    pub ffn_dim: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: usize,
+}
+
+impl Default for BertMiniConfig {
+    fn default() -> Self {
+        BertMiniConfig { vocab: 32, d_model: 32, heads: 4, layers: 2, ffn_dim: 64, max_seq: 16 }
+    }
+}
+
+/// One post-LN transformer encoder block.
+#[derive(Debug, Clone)]
+struct Block {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ffn1: Linear,
+    gelu: Gelu,
+    ffn2: Linear,
+    ln2: LayerNorm,
+}
+
+impl Block {
+    fn new(prefix: &str, cfg: &BertMiniConfig, rng: &mut Rng) -> Self {
+        Block {
+            attn: MultiHeadAttention::new(&format!("{prefix}.attn"), cfg.d_model, cfg.heads, rng),
+            ln1: LayerNorm::new(cfg.d_model),
+            ffn1: Linear::new(format!("{prefix}.ffn1"), cfg.d_model, cfg.ffn_dim, true, rng),
+            gelu: Gelu::new(),
+            ffn2: Linear::new(format!("{prefix}.ffn2"), cfg.ffn_dim, cfg.d_model, true, rng),
+            ln2: LayerNorm::new(cfg.d_model),
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix, batch: usize, seq: usize, train: bool) -> Matrix {
+        // Post-LN: h = LN1(x + attn(x)); out = LN2(h + ffn(h)).
+        let a = self.attn.forward(x, batch, seq, train);
+        let mut r1 = x.clone();
+        r1.add_assign(&a);
+        let h = self.ln1.forward(&r1, train);
+
+        let f = self.ffn1.forward(&h, train);
+        let f = self.gelu.forward(&f, train);
+        let f = self.ffn2.forward(&f, train);
+        let mut r2 = h.clone();
+        r2.add_assign(&f);
+        self.ln2.forward(&r2, train)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let dr2 = self.ln2.backward(grad_out);
+        // r2 = h + ffn(h): gradient flows to h directly and through the FFN.
+        let df = self.ffn2.backward(&dr2);
+        let df = self.gelu.backward(&df);
+        let mut dh = self.ffn1.backward(&df);
+        dh.add_assign(&dr2);
+
+        let dr1 = self.ln1.backward(&dh);
+        // r1 = x + attn(x).
+        let mut dx = self.attn.backward(&dr1);
+        dx.add_assign(&dr1);
+        dx
+    }
+
+    fn zero_grad(&mut self) {
+        self.attn.zero_grad();
+        self.ln1.zero_grad();
+        self.ffn1.zero_grad();
+        self.ffn2.zero_grad();
+        self.ln2.zero_grad();
+    }
+}
+
+/// Small BERT-style masked language model.
+#[derive(Debug, Clone)]
+pub struct BertMini {
+    name: String,
+    cfg: BertMiniConfig,
+    /// Token embedding table `(vocab, d_model)` — not K-FAC preconditioned.
+    pub embedding: Matrix,
+    grad_embedding: Matrix,
+    /// Positional embedding table `(max_seq, d_model)`.
+    pub pos_embedding: Matrix,
+    grad_pos_embedding: Matrix,
+    blocks: Vec<Block>,
+    /// Vocabulary prediction head — not K-FAC preconditioned.
+    head: Linear,
+    token_cache: Option<TokenBatch>,
+}
+
+impl BertMini {
+    /// Build the model.
+    pub fn new(cfg: BertMiniConfig, rng: &mut Rng) -> Self {
+        let blocks = (0..cfg.layers).map(|i| Block::new(&format!("blk{i}"), &cfg, rng)).collect();
+        BertMini {
+            name: "bert_mini".to_string(),
+            embedding: Matrix::randn(cfg.vocab, cfg.d_model, 0.1, rng),
+            grad_embedding: Matrix::zeros(cfg.vocab, cfg.d_model),
+            pos_embedding: Matrix::randn(cfg.max_seq, cfg.d_model, 0.1, rng),
+            grad_pos_embedding: Matrix::zeros(cfg.max_seq, cfg.d_model),
+            blocks,
+            head: Linear::new("mlm_head", cfg.d_model, cfg.vocab, true, rng),
+            token_cache: None,
+            cfg,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &BertMiniConfig {
+        &self.cfg
+    }
+
+    fn embed(&self, batch: &TokenBatch) -> Matrix {
+        let rows = batch.batch * batch.seq;
+        assert_eq!(batch.tokens.len(), rows, "token count mismatch");
+        assert!(batch.seq <= self.cfg.max_seq, "sequence longer than max_seq");
+        let mut x = Matrix::zeros(rows, self.cfg.d_model);
+        for (i, &tok) in batch.tokens.iter().enumerate() {
+            assert!(tok < self.cfg.vocab, "token id {tok} out of range");
+            let pos = i % batch.seq;
+            let row = x.row_mut(i);
+            for (d, v) in row.iter_mut().enumerate() {
+                *v = self.embedding.get(tok, d) + self.pos_embedding.get(pos, d);
+            }
+        }
+        x
+    }
+
+    /// Forward pass to vocabulary logits `(batch·seq, vocab)`.
+    pub fn forward(&mut self, batch: &TokenBatch, train: bool) -> Matrix {
+        let mut x = self.embed(batch);
+        for block in self.blocks.iter_mut() {
+            x = block.forward(&x, batch.batch, batch.seq, train);
+        }
+        if train {
+            self.token_cache = Some(batch.clone());
+        }
+        self.head.forward(&x, train)
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let batch = self.token_cache.take().expect("backward without forward");
+        let mut g = self.head.backward(grad_logits);
+        for block in self.blocks.iter_mut().rev() {
+            g = block.backward(&g);
+        }
+        // Embedding gradients: scatter-add by token id / position.
+        for (i, &tok) in batch.tokens.iter().enumerate() {
+            let pos = i % batch.seq;
+            let grow = g.row(i);
+            for (d, &v) in grow.iter().enumerate() {
+                let e = self.grad_embedding.get(tok, d) + v;
+                self.grad_embedding.set(tok, d, e);
+                let p = self.grad_pos_embedding.get(pos, d) + v;
+                self.grad_pos_embedding.set(pos, d, p);
+            }
+        }
+    }
+}
+
+impl Model for BertMini {
+    type Input = TokenBatch;
+    type Target = ();
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_backward(&mut self, x: &TokenBatch, _y: &()) -> EvalResult {
+        let logits = self.forward(x, true);
+        let out = masked_cross_entropy(&logits, &x.labels);
+        self.backward(&out.grad);
+        EvalResult { loss: out.loss, metric: out.accuracy }
+    }
+
+    fn evaluate(&mut self, x: &TokenBatch, _y: &()) -> EvalResult {
+        let logits = self.forward(x, false);
+        let out = masked_cross_entropy(&logits, &x.labels);
+        EvalResult { loss: out.loss, metric: out.accuracy }
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&str, ParamRef<'_>)) {
+        f(
+            "embedding",
+            ParamRef::Mat { w: &mut self.embedding, g: &mut self.grad_embedding },
+        );
+        f(
+            "pos_embedding",
+            ParamRef::Mat { w: &mut self.pos_embedding, g: &mut self.grad_pos_embedding },
+        );
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            visit_linear(&mut block.attn.wq, &format!("blk{i}.wq"), f);
+            visit_linear(&mut block.attn.wk, &format!("blk{i}.wk"), f);
+            visit_linear(&mut block.attn.wv, &format!("blk{i}.wv"), f);
+            visit_linear(&mut block.attn.wo, &format!("blk{i}.wo"), f);
+            visit_ln(&mut block.ln1, &format!("blk{i}.ln1"), f);
+            visit_linear(&mut block.ffn1, &format!("blk{i}.ffn1"), f);
+            visit_linear(&mut block.ffn2, &format!("blk{i}.ffn2"), f);
+            visit_ln(&mut block.ln2, &format!("blk{i}.ln2"), f);
+        }
+        visit_linear(&mut self.head, "mlm_head", f);
+    }
+
+    fn kfac_layers(&mut self) -> Vec<&mut dyn KfacAble> {
+        // Embedding and prediction head deliberately excluded (paper §5.2).
+        let mut layers: Vec<&mut dyn KfacAble> = Vec::new();
+        for block in self.blocks.iter_mut() {
+            layers.push(&mut block.attn.wq);
+            layers.push(&mut block.attn.wk);
+            layers.push(&mut block.attn.wv);
+            layers.push(&mut block.attn.wo);
+            layers.push(&mut block.ffn1);
+            layers.push(&mut block.ffn2);
+        }
+        layers
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_embedding.fill_zero();
+        self.grad_pos_embedding.fill_zero();
+        for block in self.blocks.iter_mut() {
+            block.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_batch(rng: &mut Rng, cfg: &BertMiniConfig, batch: usize, seq: usize) -> TokenBatch {
+        let rows = batch * seq;
+        let tokens: Vec<usize> = (0..rows).map(|_| rng.index(cfg.vocab)).collect();
+        // Mask ~25% of positions; token 0 plays the role of [MASK].
+        let mut masked_tokens = tokens.clone();
+        let mut labels = vec![None; rows];
+        for i in 0..rows {
+            if rng.bernoulli(0.25) {
+                labels[i] = Some(tokens[i]);
+                masked_tokens[i] = 0;
+            }
+        }
+        TokenBatch { tokens: masked_tokens, batch, seq, labels }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Rng::seed_from_u64(181);
+        let cfg = BertMiniConfig::default();
+        let mut model = BertMini::new(cfg, &mut rng);
+        let b = toy_batch(&mut rng, &cfg, 2, 8);
+        let logits = model.forward(&b, false);
+        assert_eq!(logits.shape(), (16, cfg.vocab));
+    }
+
+    #[test]
+    fn kfac_excludes_embedding_and_head() {
+        let mut rng = Rng::seed_from_u64(182);
+        let cfg = BertMiniConfig::default();
+        let mut model = BertMini::new(cfg, &mut rng);
+        let layers = model.kfac_layers();
+        assert_eq!(layers.len(), cfg.layers * 6);
+        for layer in &layers {
+            assert!(!layer.layer_name().contains("mlm_head"));
+        }
+    }
+
+    #[test]
+    fn gradcheck_spot_positions() {
+        let mut rng = Rng::seed_from_u64(183);
+        let cfg = BertMiniConfig { vocab: 12, d_model: 8, heads: 2, layers: 1, ffn_dim: 16, max_seq: 8 };
+        let mut model = BertMini::new(cfg, &mut rng);
+        let b = toy_batch(&mut rng, &cfg, 2, 4);
+        model.zero_grad();
+        let _ = model.forward_backward(&b, &());
+        let grads = model.grads_flat();
+        let mut params = model.params_flat();
+        let h = 1e-3;
+        for &idx in &[5usize, 120, params.len() / 2, params.len() - 3] {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            model.set_params_flat(&params);
+            let lp = model.evaluate(&b, &()).loss;
+            params[idx] = orig - h;
+            model.set_params_flat(&params);
+            let lm = model.evaluate(&b, &()).loss;
+            params[idx] = orig;
+            model.set_params_flat(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - grads[idx]).abs() < 2e-2, "idx={idx} fd={fd} an={}", grads[idx]);
+        }
+    }
+
+    #[test]
+    fn training_reduces_masked_loss() {
+        let mut rng = Rng::seed_from_u64(184);
+        let cfg = BertMiniConfig { vocab: 12, d_model: 16, heads: 2, layers: 1, ffn_dim: 32, max_seq: 8 };
+        let mut model = BertMini::new(cfg, &mut rng);
+        let b = toy_batch(&mut rng, &cfg, 4, 8);
+        let before = model.evaluate(&b, &()).loss;
+        for _ in 0..15 {
+            model.zero_grad();
+            let _ = model.forward_backward(&b, &());
+            let grads = model.grads_flat();
+            let mut params = model.params_flat();
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            model.set_params_flat(&params);
+        }
+        let after = model.evaluate(&b, &()).loss;
+        assert!(after < before, "masked loss {before} -> {after}");
+    }
+}

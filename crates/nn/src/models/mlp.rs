@@ -1,0 +1,167 @@
+//! Plain multi-layer perceptron classifier (quickstart model).
+
+use kaisa_tensor::{Matrix, Rng};
+
+use crate::activation::Relu;
+use crate::capture::KfacAble;
+use crate::linear::Linear;
+use crate::loss::softmax_cross_entropy;
+use crate::model::{visit_linear, EvalResult, Model, ParamRef};
+
+/// An MLP classifier: `Linear → ReLU → ... → Linear` with softmax
+/// cross-entropy loss. Every Linear layer is K-FAC preconditionable.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    name: String,
+    layers: Vec<Linear>,
+    relus: Vec<Relu>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths, e.g. `&[784, 128, 64, 10]`.
+    pub fn new(dims: &[usize], rng: &mut Rng) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let mut layers = Vec::new();
+        let mut relus = Vec::new();
+        for (i, pair) in dims.windows(2).enumerate() {
+            layers.push(Linear::new_kaiming(format!("fc{i}"), pair[0], pair[1], true, rng));
+            if i + 2 < dims.len() {
+                relus.push(Relu::new());
+            }
+        }
+        Mlp { name: "mlp".to_string(), layers, relus }
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        let n_layers = self.layers.len();
+        for i in 0..n_layers {
+            h = self.layers[i].forward(&h, train);
+            if i < self.relus.len() {
+                h = self.relus[i].forward(&h, train);
+            }
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let n = self.layers.len();
+        let mut g = self.layers[n - 1].backward(grad_logits);
+        for i in (0..n - 1).rev() {
+            g = self.relus[i].backward(&g);
+            g = self.layers[i].backward(&g);
+        }
+    }
+}
+
+impl Model for Mlp {
+    type Input = Matrix;
+    type Target = Vec<usize>;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_backward(&mut self, x: &Matrix, y: &Vec<usize>) -> EvalResult {
+        let logits = self.forward(x, true);
+        let out = softmax_cross_entropy(&logits, y);
+        self.backward(&out.grad);
+        EvalResult { loss: out.loss, metric: out.accuracy }
+    }
+
+    fn evaluate(&mut self, x: &Matrix, y: &Vec<usize>) -> EvalResult {
+        let logits = self.forward(x, false);
+        let out = softmax_cross_entropy(&logits, y);
+        EvalResult { loss: out.loss, metric: out.accuracy }
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&str, ParamRef<'_>)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            visit_linear(layer, &format!("fc{i}"), f);
+        }
+    }
+
+    fn kfac_layers(&mut self) -> Vec<&mut dyn KfacAble> {
+        self.layers.iter_mut().map(|l| l as &mut dyn KfacAble).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = Rng::seed_from_u64(141);
+        let mut mlp = Mlp::new(&[8, 16, 4], &mut rng);
+        assert_eq!(mlp.param_count(), 8 * 16 + 16 + 16 * 4 + 4);
+        let x = Matrix::randn(5, 8, 1.0, &mut rng);
+        let logits = mlp.forward(&x, false);
+        assert_eq!(logits.shape(), (5, 4));
+        assert_eq!(mlp.kfac_layers().len(), 2);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut rng = Rng::seed_from_u64(142);
+        let mut mlp = Mlp::new(&[4, 6, 3], &mut rng);
+        let flat = mlp.params_flat();
+        let mut perturbed = flat.clone();
+        for v in perturbed.iter_mut() {
+            *v += 1.0;
+        }
+        mlp.set_params_flat(&perturbed);
+        let back = mlp.params_flat();
+        assert_eq!(back, perturbed);
+    }
+
+    #[test]
+    fn single_step_reduces_loss() {
+        let mut rng = Rng::seed_from_u64(143);
+        let mut mlp = Mlp::new(&[6, 12, 3], &mut rng);
+        let x = Matrix::randn(32, 6, 1.0, &mut rng);
+        let y: Vec<usize> = (0..32).map(|i| i % 3).collect();
+
+        let before = mlp.evaluate(&x, &y).loss;
+        // Ten plain SGD steps.
+        for _ in 0..10 {
+            mlp.zero_grad();
+            let _ = mlp.forward_backward(&x, &y);
+            let grads = mlp.grads_flat();
+            let mut params = mlp.params_flat();
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            mlp.set_params_flat(&params);
+        }
+        let after = mlp.evaluate(&x, &y).loss;
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_end_to_end() {
+        let mut rng = Rng::seed_from_u64(144);
+        let mut mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        let x = Matrix::randn(4, 3, 1.0, &mut rng);
+        let y = vec![0usize, 1, 0, 1];
+        mlp.zero_grad();
+        let _ = mlp.forward_backward(&x, &y);
+        let grads = mlp.grads_flat();
+        let mut params = mlp.params_flat();
+        let h = 1e-3;
+        for &idx in &[0usize, 7, 20, params.len() - 1] {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            mlp.set_params_flat(&params);
+            let lp = mlp.evaluate(&x, &y).loss;
+            params[idx] = orig - h;
+            mlp.set_params_flat(&params);
+            let lm = mlp.evaluate(&x, &y).loss;
+            params[idx] = orig;
+            mlp.set_params_flat(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - grads[idx]).abs() < 1e-2, "idx={idx} fd={fd} an={}", grads[idx]);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Scaled-down analogues of the paper's four evaluation applications plus a
+//! plain MLP for quickstarts.
+//!
+//! Each model keeps the *layer kinds* K-FAC preconditions in the paper
+//! (Section 5.2) so the preconditioner exercises the same code paths:
+//! Conv2d factors via im2col patches, Linear factors via activations, and
+//! non-preconditioned normalization/embedding parameters handled by the
+//! first-order optimizer alone.
+
+mod bert_mini;
+mod mlp;
+mod resnet_mini;
+mod roi_head;
+mod unet_mini;
+
+pub use bert_mini::{BertMini, BertMiniConfig, TokenBatch};
+pub use mlp::Mlp;
+pub use resnet_mini::{ResNetMini, ResNetMiniConfig};
+pub use roi_head::{RoiHeadMini, RoiTargets};
+pub use unet_mini::UNetMini;

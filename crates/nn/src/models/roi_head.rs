@@ -1,0 +1,191 @@
+//! Mask R-CNN ROI-head analogue.
+//!
+//! The paper applies K-FAC only to the convolutional and linear layers in
+//! the region-of-interest (ROI) heads of Mask R-CNN (Section 5.2). The ROI
+//! box head is two shared fully-connected layers feeding a classification
+//! head and a bounding-box regression head — exactly the structure here,
+//! operating on pooled ROI feature vectors. The loss is the standard
+//! detection head loss: cross-entropy + smooth-L1 box regression.
+
+use kaisa_tensor::{Matrix, Rng};
+
+use crate::activation::Relu;
+use crate::capture::KfacAble;
+use crate::linear::Linear;
+use crate::loss::{smooth_l1_loss, softmax_cross_entropy};
+use crate::model::{visit_linear, EvalResult, Model, ParamRef};
+
+/// Targets for one batch of ROIs.
+#[derive(Debug, Clone)]
+pub struct RoiTargets {
+    /// Object class per ROI.
+    pub classes: Vec<usize>,
+    /// Box regression target per ROI: `(n_rois, 4)`.
+    pub boxes: Matrix,
+}
+
+/// Two shared FC layers + classification and box-regression heads.
+#[derive(Debug, Clone)]
+pub struct RoiHeadMini {
+    name: String,
+    fc1: Linear,
+    fc2: Linear,
+    relu1: Relu,
+    relu2: Relu,
+    cls_head: Linear,
+    box_head: Linear,
+    /// Weight of the box-regression term in the total loss.
+    pub box_loss_weight: f32,
+}
+
+impl RoiHeadMini {
+    /// Build the head. `feat_dim` is the pooled ROI feature width,
+    /// `hidden` the shared FC width, `classes` the number of categories.
+    pub fn new(feat_dim: usize, hidden: usize, classes: usize, rng: &mut Rng) -> Self {
+        RoiHeadMini {
+            name: "roi_head_mini".to_string(),
+            fc1: Linear::new_kaiming("roi.fc1", feat_dim, hidden, true, rng),
+            fc2: Linear::new_kaiming("roi.fc2", hidden, hidden, true, rng),
+            relu1: Relu::new(),
+            relu2: Relu::new(),
+            cls_head: Linear::new("roi.cls", hidden, classes, true, rng),
+            box_head: Linear::new("roi.box", hidden, 4, true, rng),
+            box_loss_weight: 1.0,
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool) -> (Matrix, Matrix) {
+        let h = self.fc1.forward(x, train);
+        let h = self.relu1.forward(&h, train);
+        let h = self.fc2.forward(&h, train);
+        let h = self.relu2.forward(&h, train);
+        let cls = self.cls_head.forward(&h, train);
+        let boxes = self.box_head.forward(&h, train);
+        (cls, boxes)
+    }
+}
+
+impl Model for RoiHeadMini {
+    type Input = Matrix;
+    type Target = RoiTargets;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_backward(&mut self, x: &Matrix, y: &RoiTargets) -> EvalResult {
+        let (cls_logits, box_pred) = self.forward(x, true);
+        let cls = softmax_cross_entropy(&cls_logits, &y.classes);
+        let (box_loss, mut box_grad) = smooth_l1_loss(&box_pred, &y.boxes);
+        box_grad.scale(self.box_loss_weight);
+
+        // Backward through both heads into the shared trunk.
+        let mut g = self.cls_head.backward(&cls.grad);
+        g.add_assign(&self.box_head.backward(&box_grad));
+        let g = self.relu2.backward(&g);
+        let g = self.fc2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let _ = self.fc1.backward(&g);
+
+        EvalResult { loss: cls.loss + self.box_loss_weight * box_loss, metric: cls.accuracy }
+    }
+
+    fn evaluate(&mut self, x: &Matrix, y: &RoiTargets) -> EvalResult {
+        let (cls_logits, box_pred) = self.forward(x, false);
+        let cls = softmax_cross_entropy(&cls_logits, &y.classes);
+        let (box_loss, _) = smooth_l1_loss(&box_pred, &y.boxes);
+        EvalResult { loss: cls.loss + self.box_loss_weight * box_loss, metric: cls.accuracy }
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&str, ParamRef<'_>)) {
+        visit_linear(&mut self.fc1, "roi.fc1", f);
+        visit_linear(&mut self.fc2, "roi.fc2", f);
+        visit_linear(&mut self.cls_head, "roi.cls", f);
+        visit_linear(&mut self.box_head, "roi.box", f);
+    }
+
+    fn kfac_layers(&mut self) -> Vec<&mut dyn KfacAble> {
+        vec![
+            &mut self.fc1 as &mut dyn KfacAble,
+            &mut self.fc2,
+            &mut self.cls_head,
+            &mut self.box_head,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_batch(rng: &mut Rng, n: usize) -> (Matrix, RoiTargets) {
+        let x = Matrix::randn(n, 12, 1.0, rng);
+        let classes: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let boxes = Matrix::randn(n, 4, 0.5, rng);
+        (x, RoiTargets { classes, boxes })
+    }
+
+    #[test]
+    fn both_heads_contribute_to_loss() {
+        let mut rng = Rng::seed_from_u64(151);
+        let mut model = RoiHeadMini::new(12, 16, 3, &mut rng);
+        let (x, y) = toy_batch(&mut rng, 8);
+        let full = model.evaluate(&x, &y).loss;
+        model.box_loss_weight = 0.0;
+        let cls_only = model.evaluate(&x, &y).loss;
+        assert!(full > cls_only, "box loss must add to the total");
+    }
+
+    #[test]
+    fn four_kfac_layers() {
+        let mut rng = Rng::seed_from_u64(152);
+        let mut model = RoiHeadMini::new(12, 16, 3, &mut rng);
+        assert_eq!(model.kfac_layers().len(), 4);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Rng::seed_from_u64(153);
+        let mut model = RoiHeadMini::new(12, 16, 3, &mut rng);
+        let (x, y) = toy_batch(&mut rng, 32);
+        let before = model.evaluate(&x, &y).loss;
+        for _ in 0..20 {
+            model.zero_grad();
+            let _ = model.forward_backward(&x, &y);
+            let grads = model.grads_flat();
+            let mut params = model.params_flat();
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= 0.2 * g;
+            }
+            model.set_params_flat(&params);
+        }
+        let after = model.evaluate(&x, &y).loss;
+        assert!(after < before * 0.9, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn shared_trunk_gradient_finite_difference() {
+        let mut rng = Rng::seed_from_u64(154);
+        let mut model = RoiHeadMini::new(6, 8, 2, &mut rng);
+        let x = Matrix::randn(4, 6, 1.0, &mut rng);
+        let y = RoiTargets { classes: vec![0, 1, 0, 1], boxes: Matrix::randn(4, 4, 0.5, &mut rng) };
+        model.zero_grad();
+        let _ = model.forward_backward(&x, &y);
+        let grads = model.grads_flat();
+        let mut params = model.params_flat();
+        let h = 1e-3;
+        for &idx in &[0usize, 10, 30] {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            model.set_params_flat(&params);
+            let lp = model.evaluate(&x, &y).loss;
+            params[idx] = orig - h;
+            model.set_params_flat(&params);
+            let lm = model.evaluate(&x, &y).loss;
+            params[idx] = orig;
+            model.set_params_flat(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - grads[idx]).abs() < 1e-2, "idx={idx} fd={fd} an={}", grads[idx]);
+        }
+    }
+}

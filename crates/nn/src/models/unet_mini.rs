@@ -1,0 +1,299 @@
+//! U-Net analogue for binary segmentation.
+//!
+//! Mirrors the paper's brain-MRI U-Net task (Section 5.2): an encoder,
+//! a strided bottleneck, a decoder with a skip connection, and a 1x1 output
+//! convolution producing mask logits. K-FAC is applied to *all convolutional
+//! layers*, exactly as the paper does for U-Net; the loss is BCE-with-logits
+//! and the validation metric is the Dice similarity coefficient (DSC).
+
+use kaisa_tensor::{Rng, Tensor4};
+
+use crate::activation::Relu2d;
+use crate::capture::KfacAble;
+use crate::conv::Conv2d;
+use crate::loss::{bce_with_logits, dice_coefficient};
+use crate::model::{visit_conv, EvalResult, Model, ParamRef};
+use crate::pool::{MaxPool2d, Upsample2x};
+
+/// Concatenate two NCHW tensors along the channel axis.
+fn concat_channels(a: &Tensor4, b: &Tensor4) -> Tensor4 {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.h(), b.h());
+    assert_eq!(a.w(), b.w());
+    let (n, ca, h, w) = a.shape();
+    let cb = b.c();
+    let mut out = Tensor4::zeros(n, ca + cb, h, w);
+    for img in 0..n {
+        for ch in 0..ca {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(img, ch, y, x, a.get(img, ch, y, x));
+                }
+            }
+        }
+        for ch in 0..cb {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(img, ca + ch, y, x, b.get(img, ch, y, x));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Split a channel-concatenated gradient back into the two branches.
+fn split_channels(g: &Tensor4, ca: usize) -> (Tensor4, Tensor4) {
+    let (n, c, h, w) = g.shape();
+    let cb = c - ca;
+    let mut ga = Tensor4::zeros(n, ca, h, w);
+    let mut gb = Tensor4::zeros(n, cb, h, w);
+    for img in 0..n {
+        for ch in 0..ca {
+            for y in 0..h {
+                for x in 0..w {
+                    ga.set(img, ch, y, x, g.get(img, ch, y, x));
+                }
+            }
+        }
+        for ch in 0..cb {
+            for y in 0..h {
+                for x in 0..w {
+                    gb.set(img, ch, y, x, g.get(img, ca + ch, y, x));
+                }
+            }
+        }
+    }
+    (ga, gb)
+}
+
+/// Small encoder–decoder segmentation network with one skip connection.
+#[derive(Debug, Clone)]
+pub struct UNetMini {
+    name: String,
+    enc1a: Conv2d,
+    enc1a_relu: Relu2d,
+    enc1b: Conv2d,
+    enc1b_relu: Relu2d,
+    pool: MaxPool2d,
+    mid_a: Conv2d,
+    mid_a_relu: Relu2d,
+    mid_b: Conv2d,
+    mid_b_relu: Relu2d,
+    up: Upsample2x,
+    dec_a: Conv2d,
+    dec_a_relu: Relu2d,
+    dec_b: Conv2d,
+    dec_b_relu: Relu2d,
+    out_conv: Conv2d,
+    skip_channels: usize,
+}
+
+impl UNetMini {
+    /// Build a U-Net over `in_channels` input channels with base width `w`.
+    pub fn new(in_channels: usize, w: usize, rng: &mut Rng) -> Self {
+        UNetMini {
+            name: "unet_mini".to_string(),
+            enc1a: Conv2d::new("enc1a", in_channels, w, 3, 1, 1, true, rng),
+            enc1a_relu: Relu2d::new(),
+            enc1b: Conv2d::new("enc1b", w, w, 3, 1, 1, true, rng),
+            enc1b_relu: Relu2d::new(),
+            pool: MaxPool2d::new(),
+            mid_a: Conv2d::new("mid_a", w, 2 * w, 3, 1, 1, true, rng),
+            mid_a_relu: Relu2d::new(),
+            mid_b: Conv2d::new("mid_b", 2 * w, 2 * w, 3, 1, 1, true, rng),
+            mid_b_relu: Relu2d::new(),
+            up: Upsample2x::new(),
+            dec_a: Conv2d::new("dec_a", 3 * w, w, 3, 1, 1, true, rng),
+            dec_a_relu: Relu2d::new(),
+            dec_b: Conv2d::new("dec_b", w, w, 3, 1, 1, true, rng),
+            dec_b_relu: Relu2d::new(),
+            out_conv: Conv2d::new("out", w, 1, 1, 1, 0, true, rng),
+            skip_channels: w,
+        }
+    }
+
+    /// Forward pass to mask logits (same spatial shape as the input).
+    pub fn forward(&mut self, x: &Tensor4, train: bool) -> Tensor4 {
+        let e = self.enc1a.forward(x, train);
+        let e = self.enc1a_relu.forward(&e, train);
+        let e = self.enc1b.forward(&e, train);
+        let skip = self.enc1b_relu.forward(&e, train);
+
+        let h = self.pool.forward(&skip, train);
+        let h = self.mid_a.forward(&h, train);
+        let h = self.mid_a_relu.forward(&h, train);
+        let h = self.mid_b.forward(&h, train);
+        let h = self.mid_b_relu.forward(&h, train);
+
+        let h = self.up.forward(&h);
+        let h = concat_channels(&skip, &h);
+
+        let h = self.dec_a.forward(&h, train);
+        let h = self.dec_a_relu.forward(&h, train);
+        let h = self.dec_b.forward(&h, train);
+        let h = self.dec_b_relu.forward(&h, train);
+        self.out_conv.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor4) {
+        let g = self.out_conv.backward(grad_logits);
+        let g = self.dec_b_relu.backward(&g);
+        let g = self.dec_b.backward(&g);
+        let g = self.dec_a_relu.backward(&g);
+        let g = self.dec_a.backward(&g);
+
+        let (g_skip, g_up) = split_channels(&g, self.skip_channels);
+        let g = self.up.backward(&g_up);
+        let g = self.mid_b_relu.backward(&g);
+        let g = self.mid_b.backward(&g);
+        let g = self.mid_a_relu.backward(&g);
+        let g = self.mid_a.backward(&g);
+        let mut g = self.pool.backward(&g);
+
+        // Skip-connection gradient joins at enc1b_relu's output.
+        g.add_assign(&g_skip);
+        let g = self.enc1b_relu.backward(&g);
+        let g = self.enc1b.backward(&g);
+        let g = self.enc1a_relu.backward(&g);
+        let _ = self.enc1a.backward(&g);
+    }
+}
+
+impl Model for UNetMini {
+    type Input = Tensor4;
+    type Target = Tensor4;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_backward(&mut self, x: &Tensor4, y: &Tensor4) -> EvalResult {
+        let logits = self.forward(x, true);
+        let (loss, grad) = bce_with_logits(&logits, y);
+        let dice = dice_coefficient(&logits, y, 0.5);
+        self.backward(&grad);
+        EvalResult { loss, metric: dice }
+    }
+
+    fn evaluate(&mut self, x: &Tensor4, y: &Tensor4) -> EvalResult {
+        let logits = self.forward(x, false);
+        let (loss, _) = bce_with_logits(&logits, y);
+        let dice = dice_coefficient(&logits, y, 0.5);
+        EvalResult { loss, metric: dice }
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&str, ParamRef<'_>)) {
+        visit_conv(&mut self.enc1a, "enc1a", f);
+        visit_conv(&mut self.enc1b, "enc1b", f);
+        visit_conv(&mut self.mid_a, "mid_a", f);
+        visit_conv(&mut self.mid_b, "mid_b", f);
+        visit_conv(&mut self.dec_a, "dec_a", f);
+        visit_conv(&mut self.dec_b, "dec_b", f);
+        visit_conv(&mut self.out_conv, "out", f);
+    }
+
+    fn kfac_layers(&mut self) -> Vec<&mut dyn KfacAble> {
+        vec![
+            &mut self.enc1a as &mut dyn KfacAble,
+            &mut self.enc1b,
+            &mut self.mid_a,
+            &mut self.mid_b,
+            &mut self.dec_a,
+            &mut self.dec_b,
+            &mut self.out_conv,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let mut rng = Rng::seed_from_u64(171);
+        let a = Tensor4::randn(2, 3, 4, 4, 1.0, &mut rng);
+        let b = Tensor4::randn(2, 5, 4, 4, 1.0, &mut rng);
+        let cat = concat_channels(&a, &b);
+        assert_eq!(cat.shape(), (2, 8, 4, 4));
+        let (a2, b2) = split_channels(&cat, 3);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn forward_preserves_spatial_shape() {
+        let mut rng = Rng::seed_from_u64(172);
+        let mut unet = UNetMini::new(1, 4, &mut rng);
+        let x = Tensor4::randn(2, 1, 8, 8, 1.0, &mut rng);
+        let y = unet.forward(&x, false);
+        assert_eq!(y.shape(), (2, 1, 8, 8));
+    }
+
+    #[test]
+    fn seven_kfac_conv_layers() {
+        let mut rng = Rng::seed_from_u64(173);
+        let mut unet = UNetMini::new(1, 4, &mut rng);
+        assert_eq!(unet.kfac_layers().len(), 7);
+    }
+
+    #[test]
+    fn gradcheck_spot_positions() {
+        let mut rng = Rng::seed_from_u64(174);
+        let mut unet = UNetMini::new(1, 2, &mut rng);
+        let x = Tensor4::randn(1, 1, 4, 4, 1.0, &mut rng);
+        let mut y = Tensor4::zeros(1, 1, 4, 4);
+        y.set(0, 0, 1, 1, 1.0);
+        y.set(0, 0, 2, 2, 1.0);
+        unet.zero_grad();
+        let _ = unet.forward_backward(&x, &y);
+        let grads = unet.grads_flat();
+        let mut params = unet.params_flat();
+        let h = 1e-3;
+        for &idx in &[0usize, 15, params.len() / 2, params.len() - 1] {
+            let orig = params[idx];
+            params[idx] = orig + h;
+            unet.set_params_flat(&params);
+            let lp = unet.evaluate(&x, &y).loss;
+            params[idx] = orig - h;
+            unet.set_params_flat(&params);
+            let lm = unet.evaluate(&x, &y).loss;
+            params[idx] = orig;
+            unet.set_params_flat(&params);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - grads[idx]).abs() < 2e-2, "idx={idx} fd={fd} an={}", grads[idx]);
+        }
+    }
+
+    #[test]
+    fn training_improves_dice() {
+        let mut rng = Rng::seed_from_u64(175);
+        let mut unet = UNetMini::new(1, 4, &mut rng);
+        // A blob mask correlated with the input intensity.
+        let mut x = Tensor4::zeros(4, 1, 8, 8);
+        let mut y = Tensor4::zeros(4, 1, 8, 8);
+        for img in 0..4 {
+            for yy in 2..6 {
+                for xx in 2..6 {
+                    x.set(img, 0, yy, xx, 2.0);
+                    y.set(img, 0, yy, xx, 1.0);
+                }
+            }
+        }
+        let before = unet.evaluate(&x, &y).loss;
+        for _ in 0..200 {
+            unet.zero_grad();
+            let _ = unet.forward_backward(&x, &y);
+            let grads = unet.grads_flat();
+            let mut params = unet.params_flat();
+            for (p, g) in params.iter_mut().zip(&grads) {
+                *p -= 0.3 * g;
+            }
+            unet.set_params_flat(&params);
+        }
+        let after = unet.evaluate(&x, &y);
+        assert!(after.loss < before, "loss {before} -> {}", after.loss);
+        assert!(after.metric > 0.5, "dice should improve, got {}", after.metric);
+    }
+}

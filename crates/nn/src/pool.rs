@@ -1,0 +1,220 @@
+//! Spatial pooling and upsampling layers.
+
+use kaisa_tensor::{Matrix, Tensor4};
+
+/// 2x2 max pooling with stride 2.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2d {
+    /// Cached argmax indices into the input, one per output element.
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl MaxPool2d {
+    /// New 2x2/stride-2 max pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward. Input spatial dims must be even.
+    pub fn forward(&mut self, x: &Tensor4, train: bool) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2d requires even spatial dims, got {h}x{w}");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut out_idx = 0usize;
+        for img in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let iy = oy * 2 + dy;
+                                let ix = ox * 2 + dx;
+                                let v = x.get(img, ch, iy, ix);
+                                if v > best {
+                                    best = v;
+                                    best_idx = x.idx(img, ch, iy, ix);
+                                }
+                            }
+                        }
+                        out.set(img, ch, oy, ox, best);
+                        argmax[out_idx] = best_idx;
+                        out_idx += 1;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = Some((n, c, h, w));
+        }
+        out
+    }
+
+    /// Backward: route gradients to the argmax positions.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let argmax = self.argmax.take().expect("MaxPool2d backward without forward");
+        let (n, c, h, w) = self.in_shape.take().expect("input shape cached");
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for (out_idx, &in_idx) in argmax.iter().enumerate() {
+            dx.as_mut_slice()[in_idx] += grad_out.as_slice()[out_idx];
+        }
+        dx
+    }
+}
+
+/// Nearest-neighbour 2x upsampling (U-Net decoder).
+#[derive(Debug, Clone, Default)]
+pub struct Upsample2x;
+
+impl Upsample2x {
+    /// New upsample layer (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Forward: each input pixel becomes a 2x2 block.
+    pub fn forward(&self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        let mut out = Tensor4::zeros(n, c, h * 2, w * 2);
+        for img in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let v = x.get(img, ch, y, xx);
+                        out.set(img, ch, 2 * y, 2 * xx, v);
+                        out.set(img, ch, 2 * y, 2 * xx + 1, v);
+                        out.set(img, ch, 2 * y + 1, 2 * xx, v);
+                        out.set(img, ch, 2 * y + 1, 2 * xx + 1, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: sum gradients of each 2x2 block.
+    pub fn backward(&self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, oh, ow) = grad_out.shape();
+        let (h, w) = (oh / 2, ow / 2);
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for img in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let s = grad_out.get(img, ch, 2 * y, 2 * xx)
+                            + grad_out.get(img, ch, 2 * y, 2 * xx + 1)
+                            + grad_out.get(img, ch, 2 * y + 1, 2 * xx)
+                            + grad_out.get(img, ch, 2 * y + 1, 2 * xx + 1);
+                        dx.set(img, ch, y, xx, s);
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+/// Global average pooling: NCHW → `(n, c)` matrix.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// New global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward: average over the spatial dims.
+    pub fn forward(&mut self, x: &Tensor4, train: bool) -> Matrix {
+        let (n, c, h, w) = x.shape();
+        if train {
+            self.in_shape = Some((n, c, h, w));
+        }
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = Matrix::zeros(n, c);
+        for img in 0..n {
+            for ch in 0..c {
+                let mut s = 0.0f32;
+                for y in 0..h {
+                    for xx in 0..w {
+                        s += x.get(img, ch, y, xx);
+                    }
+                }
+                out.set(img, ch, s * inv);
+            }
+        }
+        out
+    }
+
+    /// Backward: spread the gradient uniformly over the spatial dims.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape.take().expect("GlobalAvgPool backward without forward");
+        let inv = 1.0 / (h * w) as f32;
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for img in 0..n {
+            for ch in 0..c {
+                let g = grad_out.get(img, ch) * inv;
+                for y in 0..h {
+                    for xx in 0..w {
+                        dx.set(img, ch, y, xx, g);
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kaisa_tensor::Rng;
+
+    #[test]
+    fn maxpool_forward_known() {
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1., 5., 3., 2.]);
+        let mut pool = MaxPool2d::new();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), (1, 1, 1, 1));
+        assert_eq!(y.get(0, 0, 0, 0), 5.0);
+        let g = Tensor4::from_vec(1, 1, 1, 1, vec![2.0]);
+        let dx = pool.backward(&g);
+        assert_eq!(dx.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn upsample_roundtrip_adjoint() {
+        let mut rng = Rng::seed_from_u64(101);
+        let x = Tensor4::randn(2, 3, 4, 4, 1.0, &mut rng);
+        let up = Upsample2x::new();
+        let y = up.forward(&x);
+        assert_eq!(y.shape(), (2, 3, 8, 8));
+        // Adjoint check: <up(x), g> == <x, up_backward(g)>.
+        let g = Tensor4::randn(2, 3, 8, 8, 1.0, &mut rng);
+        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let back = up.backward(&g);
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let x = Tensor4::from_vec(1, 2, 2, 2, vec![1., 2., 3., 4., 10., 20., 30., 40.]);
+        let mut gap = GlobalAvgPool::new();
+        let y = gap.forward(&x, true);
+        assert_eq!(y.shape(), (1, 2));
+        assert_eq!(y.get(0, 0), 2.5);
+        assert_eq!(y.get(0, 1), 25.0);
+        let g = Matrix::from_vec(1, 2, vec![4.0, 8.0]);
+        let dx = gap.backward(&g);
+        assert_eq!(dx.get(0, 0, 0, 0), 1.0);
+        assert_eq!(dx.get(0, 1, 1, 1), 2.0);
+    }
+}

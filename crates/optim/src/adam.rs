@@ -1,0 +1,117 @@
+//! Adam (the U-Net baseline optimizer).
+
+use kaisa_nn::ParamSegment;
+
+use crate::Optimizer;
+
+/// The Adam optimizer with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor inside the square root.
+    pub eps: f32,
+    /// L2 weight decay applied to the gradient.
+    pub weight_decay: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new() -> Self {
+        Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Set weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], _segments: &[ParamSegment], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step is ≈ lr·sign(g).
+        let mut opt = Adam::new();
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[3.7], &[], 0.01);
+        assert!((p[0] + 0.01).abs() < 1e-4, "p={}", p[0]);
+    }
+
+    #[test]
+    fn scale_invariance_of_direction() {
+        // Adam's per-coordinate normalization: gradient scale barely changes
+        // the step size.
+        let mut a = Adam::new();
+        let mut b = Adam::new();
+        let mut pa = vec![0.0];
+        let mut pb = vec![0.0];
+        for _ in 0..10 {
+            a.step(&mut pa, &[1.0], &[], 0.01);
+            b.step(&mut pb, &[100.0], &[], 0.01);
+        }
+        assert!((pa[0] - pb[0]).abs() < 1e-4, "{} vs {}", pa[0], pb[0]);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Adam::new();
+        let mut p = vec![10.0];
+        for _ in 0..2000 {
+            let g = vec![p[0] - 3.0];
+            opt.step(&mut p, &g, &[], 0.05);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "p={}", p[0]);
+    }
+
+    #[test]
+    fn state_resets_on_shape_change() {
+        let mut opt = Adam::new();
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[1.0], &[], 0.1);
+        let mut p2 = vec![0.0, 0.0];
+        opt.step(&mut p2, &[1.0, 1.0], &[], 0.1);
+        // Both coordinates see a fresh first step.
+        assert!((p2[0] - p2[1]).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,175 @@
+//! LAMB — layer-wise adaptive moments (the BERT baseline optimizer).
+//!
+//! You et al., "Large batch optimization for deep learning: Training BERT in
+//! 76 minutes". The paper's BERT experiments compare KAISA against NVIDIA's
+//! Fused LAMB; this is the same algorithm (unfused). The defining feature is
+//! the per-layer trust ratio `‖w‖ / ‖update‖` that rescales each layer's
+//! Adam-style step, which is why the optimizer needs the parameter
+//! segmentation.
+
+use kaisa_nn::ParamSegment;
+use kaisa_tensor::ops;
+
+use crate::Optimizer;
+
+/// The LAMB optimizer.
+#[derive(Debug, Clone)]
+pub struct Lamb {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor inside the square root.
+    pub eps: f32,
+    /// Decoupled weight decay (added to the normalized update, per LAMB).
+    pub weight_decay: f32,
+    /// Clamp for the trust ratio (0 disables the upper clamp).
+    pub max_trust_ratio: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Lamb {
+    /// Standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-6, wd=0.01).
+    pub fn new() -> Self {
+        Lamb {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay: 0.01,
+            max_trust_ratio: 10.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Set weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Default for Lamb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], segments: &[ParamSegment], lr: f32) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let total: usize = segments.iter().map(|s| s.len).sum();
+        assert_eq!(total, params.len(), "segments must cover the flat buffer");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+
+        let mut offset = 0usize;
+        let mut update = vec![0.0f32; 0];
+        for seg in segments {
+            let range = offset..offset + seg.len;
+            update.clear();
+            update.resize(seg.len, 0.0);
+            for (k, i) in range.clone().enumerate() {
+                let g = grads[i];
+                self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+                self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = self.m[i] / bc1;
+                let v_hat = self.v[i] / bc2;
+                update[k] = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * params[i];
+            }
+            let w_norm = ops::norm2(&params[range.clone()]) as f32;
+            let u_norm = ops::norm2(&update) as f32;
+            let mut trust = if w_norm > 0.0 && u_norm > 0.0 { w_norm / u_norm } else { 1.0 };
+            if self.max_trust_ratio > 0.0 {
+                trust = trust.min(self.max_trust_ratio);
+            }
+            for (k, i) in range.enumerate() {
+                params[i] -= lr * trust * update[k];
+            }
+            offset += seg.len;
+        }
+    }
+
+    fn state_bytes_per_param(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(name: &str, len: usize) -> ParamSegment {
+        ParamSegment { name: name.to_string(), len }
+    }
+
+    #[test]
+    fn trust_ratio_scales_with_weight_norm() {
+        // Two identical layers except for weight magnitude: the larger-norm
+        // layer takes a proportionally larger step.
+        let mut opt = Lamb::new().weight_decay(0.0);
+        let mut params = vec![1.0, 1.0, 10.0, 10.0];
+        let grads = vec![1.0, 1.0, 1.0, 1.0];
+        let segments = vec![seg("small", 2), seg("big", 2)];
+        let before = params.clone();
+        opt.step(&mut params, &grads, &segments, 0.01);
+        let step_small = (before[0] - params[0]).abs();
+        let step_big = (before[2] - params[2]).abs();
+        assert!(
+            (step_big / step_small - 10.0).abs() < 0.1,
+            "trust ratio should scale 10x: {step_small} vs {step_big}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_layer_uses_unit_trust() {
+        let mut opt = Lamb::new().weight_decay(0.0);
+        let mut params = vec![0.0, 0.0];
+        let grads = vec![1.0, 1.0];
+        opt.step(&mut params, &grads, &[seg("z", 2)], 0.01);
+        assert!(params[0] < 0.0, "still makes progress from zero init");
+    }
+
+    #[test]
+    fn trust_ratio_clamped() {
+        let mut opt = Lamb::new().weight_decay(0.0);
+        opt.max_trust_ratio = 2.0;
+        let mut params = vec![1000.0];
+        let grads = vec![1.0];
+        let before = params[0];
+        opt.step(&mut params, &grads, &[seg("huge", 1)], 0.01);
+        let step = before - params[0];
+        // f32 ulp at 1000 is ~6e-5, so allow that much slop in the measure.
+        assert!(step <= 0.01 * 2.0 + 1e-3, "step {step} exceeds clamp");
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Lamb::new().weight_decay(0.0);
+        let mut p = vec![10.0];
+        for _ in 0..500 {
+            let g = vec![p[0] - 3.0];
+            opt.step(&mut p, &g, &[seg("p", 1)], 0.05);
+        }
+        assert!((p[0] - 3.0).abs() < 0.1, "p={}", p[0]);
+    }
+
+    #[test]
+    fn segment_coverage_enforced() {
+        let mut opt = Lamb::new();
+        let mut params = vec![1.0, 2.0, 3.0];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            opt.step(&mut params, &[0.0, 0.0, 0.0], &[seg("short", 2)], 0.1);
+        }));
+        assert!(r.is_err(), "mismatched segmentation must panic");
+    }
+}

@@ -1,0 +1,213 @@
+//! Blocked, Rayon-parallel GEMM kernels.
+//!
+//! Three variants are provided: `C = A·B`, `C = Aᵀ·B`, and `C = A·Bᵀ`, all
+//! row-major. The K-FAC hot paths are `Aᵀ·B` (factor statistics `aᵀa`, `gᵀg`)
+//! and plain products (preconditioning `Qᵀ·∇L·Q`), so those avoid
+//! materializing transposes.
+//!
+//! Parallelization follows the Rayon guidance from the HPC guides: split `C`
+//! into independent row bands with `par_chunks_mut`, which is data-race free
+//! by construction. Small problems stay serial to avoid fork/join overhead.
+
+use rayon::prelude::*;
+
+/// Below this many multiply-adds the serial kernel wins.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Rows of `C` handed to each Rayon task.
+fn row_band(m: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    (m / (threads * 4)).max(4)
+}
+
+/// `C[m x n] = A[m x k] · B[k x n]`, all row-major. `c` must be zeroed by the
+/// caller (the kernels accumulate).
+pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        let band = row_band(m);
+        c.par_chunks_mut(band * n).enumerate().for_each(|(band_idx, c_band)| {
+            let r0 = band_idx * band;
+            let rows = c_band.len() / n;
+            gemm_nn_serial(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_band);
+        });
+    } else {
+        gemm_nn_serial(m, k, n, a, b, c);
+    }
+}
+
+fn gemm_nn_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    // i-k-j loop order: unit-stride access on both B and C rows, which the
+    // auto-vectorizer handles well.
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// `C[m x n] = Aᵀ · B` where `A` is stored as `[k x m]` row-major (so `Aᵀ` is
+/// `m x k`), `B` is `[k x n]`. This is the factor-statistic kernel
+/// `A = aᵀ·a / batch` with `a` stored batch-major.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        let band = row_band(m);
+        c.par_chunks_mut(band * n).enumerate().for_each(|(band_idx, c_band)| {
+            let r0 = band_idx * band;
+            let rows = c_band.len() / n;
+            gemm_tn_serial_range(r0, rows, m, k, n, a, b, c_band);
+        });
+    } else {
+        gemm_tn_serial_range(0, m, m, k, n, a, b, c);
+    }
+}
+
+fn gemm_tn_serial_range(
+    r0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    // C[i, j] = sum_kk A[kk, i] * B[kk, j]; iterate kk outer so both A and B
+    // rows stream with unit stride.
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for i in 0..rows {
+            let aik = a_row[r0 + i];
+            if aik == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// `C[m x n] = A · Bᵀ` where `A` is `[m x k]` and `B` is `[n x k]` row-major.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        let band = row_band(m);
+        c.par_chunks_mut(band * n).enumerate().for_each(|(band_idx, c_band)| {
+            let r0 = band_idx * band;
+            let rows = c_band.len() / n;
+            gemm_nt_serial(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_band);
+        });
+    } else {
+        gemm_nt_serial(m, k, n, a, b, c);
+    }
+}
+
+fn gemm_nt_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    // C[i, j] = dot(A row i, B row j): both unit stride.
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *cj += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matrix, Rng};
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive_over_shapes() {
+        let mut rng = Rng::seed_from_u64(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 64, 64), (80, 70, 90)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let mut c = vec![0.0; m * n];
+            gemm_nn(m, k, n, a.as_slice(), b.as_slice(), &mut c);
+            let expect = naive(m, k, n, a.as_slice(), b.as_slice());
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-3, "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        let mut rng = Rng::seed_from_u64(2);
+        for &(m, k, n) in &[(4, 6, 3), (33, 65, 17), (70, 90, 80)] {
+            // A stored [k x m]; logical product is Aᵀ B.
+            let a = Matrix::randn(k, m, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let mut c = vec![0.0; m * n];
+            gemm_tn(m, k, n, a.as_slice(), b.as_slice(), &mut c);
+            let at = a.transpose();
+            let expect = naive(m, k, n, at.as_slice(), b.as_slice());
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let mut rng = Rng::seed_from_u64(3);
+        for &(m, k, n) in &[(5, 4, 7), (29, 31, 37), (75, 85, 95)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(n, k, 1.0, &mut rng);
+            let mut c = vec![0.0; m * n];
+            gemm_nt(m, k, n, a.as_slice(), b.as_slice(), &mut c);
+            let bt = b.transpose();
+            let expect = naive(m, k, n, a.as_slice(), bt.as_slice());
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_semantics() {
+        // Kernels accumulate into C rather than overwriting.
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0, 1.0, 1.0, 1.0];
+        gemm_nn(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! im2col / col2im lowering for convolution.
+//!
+//! Convolution is lowered to GEMM: every receptive-field patch of the input
+//! becomes one row of a patch matrix of shape
+//! `(N * H_out * W_out) x (C_in * KH * KW)`. This is also exactly the
+//! activation matrix K-FAC's `A` factor is computed from for Conv2d layers
+//! (Grosse & Martens, "A Kronecker-factored approximate Fisher matrix for
+//! convolution layers").
+
+use crate::{Matrix, Tensor4};
+
+/// Geometry of a 2-D convolution: kernel, stride, and zero-padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride along height.
+    pub sh: usize,
+    /// Stride along width.
+    pub sw: usize,
+    /// Zero padding along height (both sides).
+    pub ph: usize,
+    /// Zero padding along width (both sides).
+    pub pw: usize,
+}
+
+impl Conv2dGeom {
+    /// Square kernel with equal stride and padding on both axes.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        Conv2dGeom { kh: k, kw: k, sh: stride, sw: stride, ph: pad, pw: pad }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_shape(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.ph - self.kh) / self.sh + 1;
+        let ow = (w + 2 * self.pw - self.kw) / self.sw + 1;
+        (oh, ow)
+    }
+}
+
+/// Lower an NCHW input to the patch matrix.
+///
+/// Output shape: `(n * oh * ow) x (c * kh * kw)`; row `((n*oh)+oy)*ow+ox`
+/// holds the receptive field of output pixel `(oy, ox)` of image `n`,
+/// channel-major then kernel-row then kernel-col.
+pub fn im2col(input: &Tensor4, geom: &Conv2dGeom) -> Matrix {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = geom.out_shape(h, w);
+    let patch_len = c * geom.kh * geom.kw;
+    let mut out = Matrix::zeros(n * oh * ow, patch_len);
+
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (img * oh + oy) * ow + ox;
+                let row = out.row_mut(row_idx);
+                let mut col = 0usize;
+                for ch in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.sh + ky) as isize - geom.ph as isize;
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.sw + kx) as isize - geom.pw as isize;
+                            row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                input.get(img, ch, iy as usize, ix as usize)
+                            } else {
+                                0.0
+                            };
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatter a patch-matrix gradient back to an NCHW input gradient
+/// (the adjoint of [`im2col`]): overlapping patches accumulate.
+pub fn col2im(
+    patches: &Matrix,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: &Conv2dGeom,
+) -> Tensor4 {
+    let (oh, ow) = geom.out_shape(h, w);
+    assert_eq!(patches.rows(), n * oh * ow, "col2im row count mismatch");
+    assert_eq!(patches.cols(), c * geom.kh * geom.kw, "col2im patch length mismatch");
+    let mut out = Tensor4::zeros(n, c, h, w);
+
+    for img in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = patches.row((img * oh + oy) * ow + ox);
+                let mut col = 0usize;
+                for ch in 0..c {
+                    for ky in 0..geom.kh {
+                        let iy = (oy * geom.sh + ky) as isize - geom.ph as isize;
+                        for kx in 0..geom.kw {
+                            let ix = (ox * geom.sw + kx) as isize - geom.pw as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                let v = out.get(img, ch, iy as usize, ix as usize) + row[col];
+                                out.set(img, ch, iy as usize, ix as usize, v);
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn out_shape_known_cases() {
+        let g = Conv2dGeom::square(3, 1, 1);
+        assert_eq!(g.out_shape(8, 8), (8, 8)); // "same" conv
+        let g2 = Conv2dGeom::square(3, 2, 1);
+        assert_eq!(g2.out_shape(8, 8), (4, 4));
+        let g3 = Conv2dGeom::square(1, 1, 0);
+        assert_eq!(g3.out_shape(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: patch matrix is just a channel-major
+        // pixel list.
+        let mut t = Tensor4::zeros(1, 2, 2, 2);
+        for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let g = Conv2dGeom::square(1, 1, 0);
+        let p = im2col(&t, &g);
+        assert_eq!(p.shape(), (4, 2));
+        // Pixel (0,0): channels 0 and 1 -> values 0 and 4.
+        assert_eq!(p.row(0), &[0.0, 4.0]);
+        assert_eq!(p.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let t = Tensor4::from_vec(1, 1, 2, 2, vec![1., 2., 3., 4.]);
+        let g = Conv2dGeom::square(3, 1, 1);
+        let p = im2col(&t, &g);
+        assert_eq!(p.shape(), (4, 9));
+        // Output (0,0): top-left 3x3 window centered at (0,0); corners padded.
+        assert_eq!(p.row(0), &[0., 0., 0., 0., 1., 2., 0., 3., 4.]);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Direct convolution vs im2col+GEMM for a random case.
+        let mut rng = Rng::seed_from_u64(9);
+        let x = Tensor4::randn(2, 3, 5, 5, 1.0, &mut rng);
+        let g = Conv2dGeom::square(3, 1, 1);
+        let c_out = 4;
+        // Weights: (c_out, c_in*kh*kw)
+        let wmat = Matrix::randn(c_out, 3 * 9, 0.2, &mut rng);
+        let patches = im2col(&x, &g);
+        let y = patches.matmul_nt(&wmat); // (n*oh*ow, c_out)
+
+        let (oh, ow) = g.out_shape(5, 5);
+        for img in 0..2 {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        // Direct conv.
+                        let mut acc = 0.0f32;
+                        let mut wi = 0usize;
+                        for ci in 0..3 {
+                            for ky in 0..3 {
+                                for kx in 0..3 {
+                                    let iy = oy as isize + ky as isize - 1;
+                                    let ix = ox as isize + kx as isize - 1;
+                                    if iy >= 0 && iy < 5 && ix >= 0 && ix < 5 {
+                                        acc += x.get(img, ci, iy as usize, ix as usize)
+                                            * wmat.get(co, wi);
+                                    }
+                                    wi += 1;
+                                }
+                            }
+                        }
+                        let got = y.get((img * oh + oy) * ow + ox, co);
+                        assert!((got - acc).abs() < 1e-4, "mismatch at {img},{co},{oy},{ox}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), p> == <x, col2im(p)> for random x, p — the defining
+        // property of the adjoint, which is what backprop requires.
+        let mut rng = Rng::seed_from_u64(10);
+        let x = Tensor4::randn(2, 2, 4, 4, 1.0, &mut rng);
+        let g = Conv2dGeom::square(3, 2, 1);
+        let px = im2col(&x, &g);
+        let p = Matrix::randn(px.rows(), px.cols(), 1.0, &mut rng);
+        let lhs = px.dot(&p);
+        let back = col2im(&p, 2, 2, 4, 4, &g);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+}

@@ -1,0 +1,67 @@
+//! # kaisa-tensor
+//!
+//! Dense tensor and matrix kernels underpinning the KAISA K-FAC optimizer
+//! framework.
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with BLAS-like operations
+//!   (Rayon-parallel blocked GEMM, transposes, elementwise kernels).
+//! * [`Tensor4`] — an NCHW activation tensor used by convolutional layers,
+//!   with [`im2col`]/[`col2im`] lowering.
+//! * [`f16`](mod@f16) — a software implementation of IEEE 754 binary16 used to
+//!   emulate half-precision *storage and communication* of Kronecker factors
+//!   (Section 3.3 of the KAISA paper) on hardware without native fp16.
+//! * [`Precision`] — storage-precision selection with byte accounting, the
+//!   knob KAISA uses to trade accuracy for memory/bandwidth.
+//! * [`Rng`] — a deterministic xoshiro256++ generator so every experiment in
+//!   the reproduction is bit-reproducible across runs and rank counts.
+//!
+//! The crate is deliberately free of unsafe code and external BLAS: the goal
+//! of the reproduction is algorithmic fidelity and determinism, not peak
+//! FLOP/s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod f16;
+mod gemm;
+mod im2col;
+pub mod init;
+mod matrix;
+pub mod ops;
+mod precision;
+mod rng;
+mod tensor4;
+
+pub use f16::F16;
+pub use im2col::{col2im, im2col, Conv2dGeom};
+pub use matrix::Matrix;
+pub use precision::Precision;
+pub use rng::Rng;
+pub use tensor4::Tensor4;
+
+/// Convenience result alias for shape-checked tensor operations.
+pub type Result<T> = std::result::Result<T, ShapeError>;
+
+/// Error raised when operand shapes are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl ShapeError {
+    /// Create a new shape error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}

@@ -1,0 +1,156 @@
+//! Elementwise slice kernels shared across the framework.
+//!
+//! These operate on plain `&[f32]` so optimizers and collectives can work on
+//! flattened parameter buffers without committing to a matrix shape.
+
+/// `y += alpha * x` (BLAS axpy).
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise `y = x`.
+pub fn copy(x: &[f32], y: &mut [f32]) {
+    y.copy_from_slice(x);
+}
+
+/// Scale a buffer in place.
+pub fn scale(s: f32, x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// Dot product in f64 accumulation.
+pub fn dot(x: &[f32], y: &[f32]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (*a as f64) * (*b as f64)).sum()
+}
+
+/// Euclidean norm with f64 accumulation.
+pub fn norm2(x: &[f32]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Sum with f64 accumulation.
+pub fn sum(x: &[f32]) -> f64 {
+    x.iter().map(|&v| v as f64).sum()
+}
+
+/// Elementwise maximum of absolute values.
+pub fn max_abs(x: &[f32]) -> f32 {
+    x.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// In-place ReLU.
+pub fn relu(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// In-place sigmoid.
+pub fn sigmoid(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
+/// Numerically-stable softmax over each row of a `rows x cols` buffer.
+pub fn softmax_rows(buf: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(buf.len(), rows * cols);
+    for r in 0..rows {
+        let row = &mut buf[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v;
+        }
+        let inv = 1.0 / denom;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as used by BERT).
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU.
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_known() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut buf = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut buf, 2, 3);
+        for r in 0..2 {
+            let s: f32 = buf[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Largest logit gets the largest probability.
+        assert!(buf[2] > buf[1] && buf[1] > buf[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0, 1001.0, 1002.0];
+        softmax_rows(&mut a, 1, 3);
+        let mut b = vec![0.0, 1.0, 2.0];
+        softmax_rows(&mut b, 1, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu_scalar(0.0) - 0.0).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.841192).abs() < 1e-4);
+        assert!((gelu_scalar(-1.0) - (-0.158808)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            let an = gelu_grad_scalar(x);
+            assert!((fd - an).abs() < 1e-3, "x={x} fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn norms_known() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(max_abs(&[-7.0, 3.0]), 7.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Storage-precision selection.
+//!
+//! KAISA adapts its memory footprint and communication volume to the training
+//! precision (paper Section 3.3): when AMP/FP16 training is active, Kronecker
+//! factors are stored and communicated in half precision, while
+//! eigendecompositions are computed in single precision for stability and may
+//! optionally be stored back in half precision.
+
+/// Element storage precision for factors, eigendecompositions, and gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE 754 binary32 (single precision).
+    #[default]
+    Fp32,
+    /// IEEE 754 binary16 (half precision), emulated in software for storage
+    /// and communication; compute still happens in `f32`.
+    Fp16,
+}
+
+impl Precision {
+    /// Bytes consumed by one element at this precision.
+    pub const fn bytes_per_element(self) -> usize {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+        }
+    }
+
+    /// Human-readable name matching the paper's tables ("FP32"/"FP16").
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+        }
+    }
+
+    /// True if values must be rounded through binary16 when stored.
+    pub const fn is_half(self) -> bool {
+        matches!(self, Precision::Fp16)
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Precision::Fp32.bytes_per_element(), 4);
+        assert_eq!(Precision::Fp16.bytes_per_element(), 2);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(Precision::Fp32.to_string(), "FP32");
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and values.
+
+use kaisa_tensor::{f16, F16, Matrix, Rng};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1e4f32..1e4).prop_filter("finite", |v| v.is_finite())
+}
+
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = Rng::seed_from_u64(seed);
+        Matrix::randn(r, c, 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn f16_roundtrip_is_idempotent(x in finite_f32()) {
+        // Quantizing twice equals quantizing once: f16 values are fixed
+        // points of the rounding.
+        let once = f16::quantize_f16(x);
+        let twice = f16::quantize_f16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_rounding_is_monotone(a in finite_f32(), b in finite_f32()) {
+        // x <= y implies q(x) <= q(y): required so quantized factors stay
+        // positive semidefinite-ish (no order inversions on the diagonal).
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16::quantize_f16(lo) <= f16::quantize_f16(hi));
+    }
+
+    #[test]
+    fn f16_relative_error_bounded(x in 1e-3f32..6e4) {
+        let q = f16::quantize_f16(x);
+        let rel = ((q - x) / x).abs();
+        prop_assert!(rel <= 2f32.powi(-11) + 1e-9, "x={} q={} rel={}", x, q, rel);
+    }
+
+    #[test]
+    fn f16_sign_symmetry(x in finite_f32()) {
+        prop_assert_eq!(
+            F16::from_f32(-x).to_f32().to_bits(),
+            (-F16::from_f32(x).to_f32()).to_bits()
+        );
+    }
+
+    #[test]
+    fn transpose_involution(m in matrix(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in any::<u64>(), n in 1usize..10, k in 1usize..10, p in 1usize..10) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(n, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, p, 1.0, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistency(seed in any::<u64>(), n in 1usize..10, k in 1usize..10, p in 1usize..10) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(k, n, 1.0, &mut rng);
+        let b = Matrix::randn(k, p, 1.0, &mut rng);
+        // Aᵀ B via the fused kernel equals the explicit transpose product.
+        prop_assert!(a.matmul_tn(&b).max_abs_diff(&a.transpose().matmul(&b)) < 1e-3);
+        let c = Matrix::randn(n, k, 1.0, &mut rng);
+        let d = Matrix::randn(p, k, 1.0, &mut rng);
+        prop_assert!(c.matmul_nt(&d).max_abs_diff(&c.matmul(&d.transpose())) < 1e-3);
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_psd(m in matrix(10)) {
+        // aᵀa (the K-FAC A factor construction) is symmetric with
+        // nonnegative diagonal and nonnegative quadratic forms.
+        let gram = m.matmul_tn(&m);
+        prop_assert!(gram.max_abs_diff(&gram.transpose()) < 1e-4);
+        for i in 0..gram.rows() {
+            prop_assert!(gram.get(i, i) >= -1e-5);
+        }
+        // Quadratic form with an arbitrary vector.
+        let mut rng = Rng::seed_from_u64(7);
+        let v = Matrix::randn(gram.rows(), 1, 1.0, &mut rng);
+        let q = v.matmul_tn(&gram.matmul(&v)).get(0, 0);
+        prop_assert!(q >= -1e-2, "quadratic form {}", q);
+    }
+
+    #[test]
+    fn symmetrize_is_projection(m in matrix(10)) {
+        if m.is_square() {
+            let mut s = m.clone();
+            s.symmetrize();
+            let mut s2 = s.clone();
+            s2.symmetrize();
+            prop_assert!(s.max_abs_diff(&s2) < 1e-7, "symmetrize must be idempotent");
+            prop_assert!(s.max_abs_diff(&s.transpose()) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), n in 1usize..50) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

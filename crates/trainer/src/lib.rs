@@ -1,0 +1,18 @@
+//! # kaisa-trainer
+//!
+//! Distributed data-parallel training harness reproducing the paper's
+//! training loop (Listing 1 + Figure 3): per-rank model replicas, disjoint
+//! data shards, gradient allreduce, optional K-FAC preconditioning, a
+//! standard first-order optimizer step, and per-epoch metric tracking with
+//! time-to-convergence detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ddp;
+mod harness;
+mod metrics;
+
+pub use ddp::allreduce_gradients;
+pub use harness::{train_distributed, train_rank, TrainConfig};
+pub use metrics::{EpochRecord, TrainResult};

@@ -1,0 +1,85 @@
+//! BERT-style masked-token pretraining: LAMB vs. KAISA-preconditioned LAMB
+//! with gradient accumulation.
+//!
+//! The miniature analogue of the paper's BERT-Large phase-2 experiment
+//! (Table 3): large effective batches are held by gradient accumulation
+//! (Section 4.2 — K-FAC statistics accumulate during the micro-batches at
+//! O(dim²) extra memory), and KAISA reaches the target masked accuracy in
+//! fewer optimizer iterations than LAMB.
+//!
+//! ```sh
+//! cargo run --release --example bert_pretrain
+//! ```
+
+use kaisa::core::KfacConfig;
+use kaisa::data::{MaskedTokenTask, SequenceRules};
+use kaisa::nn::models::{BertMini, BertMiniConfig};
+use kaisa::optim::{Lamb, LrSchedule};
+use kaisa::tensor::Rng;
+use kaisa::trainer::{train_distributed, TrainConfig};
+
+fn main() {
+    let rules = SequenceRules { vocab: 24, mult: 1, offset: 5, rule_probability: 0.95 };
+    let train = MaskedTokenTask::generate(512, 12, rules, 0.25, 31);
+    let val = MaskedTokenTask::generate(96, 12, rules, 0.25, 32);
+
+    let model_cfg =
+        BertMiniConfig { vocab: 24, d_model: 24, heads: 4, layers: 2, ffn_dim: 48, max_seq: 12 };
+    let target = 0.72; // masked-token accuracy target (the "F1" analogue)
+
+    // Per-optimizer tuned schedules (as the paper's Table 4 does): LAMB needs
+    // a long low-LR ramp on this task; the K-FAC preconditioner tolerates a
+    // 6x larger learning rate (Section 2: natural-gradient methods enable
+    // larger learning rates).
+    for (label, kfac, schedule, epochs) in [
+        (
+            "LAMB",
+            None,
+            LrSchedule::WarmupPoly { lr: 5e-3, warmup: 30, total: 1200, power: 1.0 },
+            50usize,
+        ),
+        (
+            "KAISA + LAMB",
+            Some(
+                KfacConfig::builder()
+                    .damping(0.003)
+                    .factor_update_freq(2)
+                    .inv_update_freq(10)
+                    .build(),
+            ),
+            LrSchedule::WarmupPoly { lr: 3e-2, warmup: 8, total: 600, power: 1.0 },
+            30usize,
+        ),
+    ] {
+        let cfg = TrainConfig {
+            epochs,
+            local_batch: 8,
+            grad_accum: 4, // effective batch 2 ranks x 8 x 4 = 64
+            schedule,
+            kfac,
+            target_metric: Some(target),
+            seed: 6,
+            eval_batch: 32,
+            ..Default::default()
+        };
+        let result = train_distributed(
+            2,
+            || BertMini::new(model_cfg, &mut Rng::seed_from_u64(13)),
+            Lamb::new,
+            &train,
+            &val,
+            &cfg,
+        );
+        println!("== {label} ==");
+        for e in result.epochs.iter().step_by(2) {
+            println!(
+                "  epoch {:>2} (iter {:>3}): masked loss={:.4}  masked acc={:.3}",
+                e.epoch, e.iterations, e.val_loss, e.val_metric
+            );
+        }
+        match result.iterations_to_metric(target) {
+            Some(iters) => println!("  reached {target:.2} masked accuracy after {iters} iterations\n"),
+            None => println!("  did not reach {target:.2} within {} iterations\n", result.iterations),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Distributed residual-CNN training across thread ranks, comparing the
+//! three distribution strategies (MEM-OPT / HYBRID-OPT / COMM-OPT).
+//!
+//! This is the miniature analogue of the paper's ResNet-50 experiments: a
+//! residual CNN on synthetic pattern images, trained data-parallel on 4
+//! ranks with K-FAC preconditioning at three `grad_worker_frac` settings.
+//!
+//! ```sh
+//! cargo run --release --example distributed_resnet
+//! ```
+
+use kaisa::core::KfacConfig;
+use kaisa::data::PatternImages;
+use kaisa::nn::models::{ResNetMini, ResNetMiniConfig};
+use kaisa::optim::{LrSchedule, Sgd};
+use kaisa::tensor::Rng;
+use kaisa::trainer::{train_distributed, TrainConfig};
+
+fn main() {
+    let world = 4;
+    let train = PatternImages::generate(512, 3, 12, 4, 0.35, 11);
+    let val = PatternImages::generate(128, 3, 12, 4, 0.35, 99);
+
+    let model_cfg = ResNetMiniConfig {
+        in_channels: 3,
+        width: 6,
+        blocks_stage1: 1,
+        blocks_stage2: 1,
+        classes: 4,
+    };
+
+    println!("{:<22} {:>10} {:>12} {:>14} {:>12}", "strategy", "epochs", "val acc", "K-FAC mem", "comm bytes");
+    for (label, frac) in [
+        ("baseline SGD", None),
+        ("MEM-OPT (1/4)", Some(0.25)),
+        ("HYBRID-OPT (1/2)", Some(0.5)),
+        ("COMM-OPT (1)", Some(1.0)),
+    ] {
+        let kfac = frac.map(|f| {
+            KfacConfig::builder()
+                .grad_worker_frac(f)
+                .damping(0.003)
+                .factor_update_freq(5)
+                .inv_update_freq(20)
+                .build()
+        });
+        let cfg = TrainConfig {
+            epochs: 8,
+            local_batch: 16,
+            schedule: LrSchedule::Warmup { lr: 0.08, warmup: 10 },
+            kfac,
+            seed: 3,
+            ..Default::default()
+        };
+        let result = train_distributed(
+            world,
+            || ResNetMini::new(model_cfg, &mut Rng::seed_from_u64(5)),
+            || Sgd::with_momentum(0.9),
+            &train,
+            &val,
+            &cfg,
+        );
+        println!(
+            "{:<22} {:>10} {:>11.3} {:>11} KiB {:>12}",
+            label,
+            result.epochs.len(),
+            result.best_metric(),
+            result.kfac_memory_bytes / 1024,
+            result.kfac_comm_bytes,
+        );
+    }
+    println!("\nNote how MEM-OPT holds the least per-rank K-FAC state while");
+    println!("COMM-OPT moves the fewest bytes per step — the paper's tradeoff.");
+}
