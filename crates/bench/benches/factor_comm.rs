@@ -16,9 +16,7 @@ fn bench_pack_unpack(c: &mut Criterion) {
     let mut group = c.benchmark_group("triangular_pack");
     for n in [64usize, 256, 1024] {
         let m = symmetric(n);
-        group.bench_with_input(BenchmarkId::new("pack", n), &m, |b, m| {
-            b.iter(|| pack_upper(m))
-        });
+        group.bench_with_input(BenchmarkId::new("pack", n), &m, |b, m| b.iter(|| pack_upper(m)));
         let packed = pack_upper(&m);
         group.bench_with_input(BenchmarkId::new("unpack", n), &packed, |b, packed| {
             b.iter(|| unpack_upper(packed, n))

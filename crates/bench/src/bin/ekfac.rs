@@ -33,11 +33,7 @@ fn main() {
         (
             "KAISA (EK-FAC)",
             Some(
-                KfacConfig::builder()
-                    .factor_update_freq(5)
-                    .inv_update_freq(10)
-                    .ekfac(true)
-                    .build(),
+                KfacConfig::builder().factor_update_freq(5).inv_update_freq(10).ekfac(true).build(),
             ),
         ),
     ] {

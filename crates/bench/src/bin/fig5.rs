@@ -31,13 +31,7 @@ fn print_panel(name: &str, metric_name: &str, target: f32, base: &TrainResult, k
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &["epoch", "baseline", "KAISA", "base s", "KAISA s"],
-            &rows
-        )
-    );
+    println!("{}", render_table(&["epoch", "baseline", "KAISA", "base s", "KAISA s"], &rows));
     let b = base.converged;
     let k = kfac.converged;
     println!("time to target: baseline {b:?}, KAISA {k:?}");
@@ -83,9 +77,7 @@ fn panel_resnet() {
         )
     };
     let base = run(None);
-    let kfac = run(Some(
-        KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build(),
-    ));
+    let kfac = run(Some(KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build()));
     print_panel("(a) ResNet", "val accuracy", target, &base, &kfac);
 }
 
@@ -148,16 +140,12 @@ fn panel_maskrcnn() {
         curve
     };
     let base = run(None);
-    let kfac = run(Some(
-        KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build(),
-    ));
+    let kfac = run(Some(KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build()));
     println!("--- Figure 5(b) Mask R-CNN ROI head: SGD vs KAISA (cls acc, target {target}) ---");
     let rows: Vec<Vec<String>> = base
         .iter()
         .zip(&kfac)
-        .map(|((e, bm, _), (_, km, _))| {
-            vec![e.to_string(), format!("{bm:.3}"), format!("{km:.3}")]
-        })
+        .map(|((e, bm, _), (_, km, _))| vec![e.to_string(), format!("{bm:.3}"), format!("{km:.3}")])
         .collect();
     println!("{}", render_table(&["epoch", "SGD", "KAISA"], &rows));
     let b_conv = base.iter().find(|(_, m, _)| *m >= target).map(|(e, _, _)| *e);
@@ -191,9 +179,7 @@ fn panel_unet() {
         )
     };
     let base = run(None);
-    let kfac = run(Some(
-        KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build(),
-    ));
+    let kfac = run(Some(KfacConfig::builder().factor_update_freq(4).inv_update_freq(8).build()));
     print_panel("(c) U-Net", "val DSC", target, &base, &kfac);
 }
 

@@ -74,11 +74,7 @@ fn live() {
                 kfac.step(&mut model, comm, 0.05);
                 steps += 1;
             }
-            (
-                start.elapsed().as_secs_f64() / steps as f64,
-                kfac.memory_bytes(),
-                kfac.comm_bytes(),
-            )
+            (start.elapsed().as_secs_f64() / steps as f64, kfac.memory_bytes(), kfac.comm_bytes())
         });
         let (iter_s, mem, sent) = results[0];
         let max_mem = results.iter().map(|r| r.1).max().unwrap();

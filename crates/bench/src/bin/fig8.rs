@@ -14,7 +14,11 @@ fn main() {
     for app in ["ResNet-50", "BERT-Large"] {
         println!(
             "--- {app} (baseline: {}) ---",
-            if app == "ResNet-50" { "momentum SGD, 90 vs 55 epochs" } else { "Fused LAMB, 1563 vs 800 steps" }
+            if app == "ResNet-50" {
+                "momentum SGD, 90 vs 55 epochs"
+            } else {
+                "Fused LAMB, 1563 vs 800 steps"
+            }
         );
         let mut table = Vec::new();
         for strategy in ["MEM-OPT", "HYBRID-OPT", "COMM-OPT"] {

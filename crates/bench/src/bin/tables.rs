@@ -20,10 +20,7 @@ fn main() {
     if which == "all" || which == "table2" {
         println!("Table 2 — hyperparameters per application\n");
         let rows: Vec<Vec<String>> = table2().iter().map(|r| r.to_vec()).collect();
-        println!(
-            "{}",
-            render_table(&["App", "BS", "LR", "WU", "K_freq", "F_freq"], &rows)
-        );
+        println!("{}", render_table(&["App", "BS", "LR", "WU", "K_freq", "F_freq"], &rows));
         println!("grad_worker_frac = 1 and damping = 0.003 for all cases (paper Table 2).");
     }
 }

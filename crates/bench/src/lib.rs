@@ -44,10 +44,7 @@ pub fn sparkline(values: &[f64]) -> String {
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     let min = values.iter().cloned().fold(f64::MAX, f64::min);
     let span = (max - min).max(1e-12);
-    values
-        .iter()
-        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| BARS[(((v - min) / span) * 7.0).round() as usize]).collect()
 }
 
 #[cfg(test)]
@@ -58,10 +55,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -36,8 +36,69 @@ mod thread_comm;
 
 pub use cost_model::{ClusterNetwork, CollectiveAlgorithm, CollectiveCostModel};
 pub use local::LocalComm;
-pub use meter::{CommEvent, CommOp, Meter, MeterSnapshot};
+pub use meter::{CommEvent, CommOp, CommTag, Meter, MeterSnapshot};
 pub use thread_comm::ThreadComm;
+
+/// Rendezvous ticket for a collective still in flight on [`ThreadComm`]:
+/// the slot key plus the participant count needed to retire the slot.
+#[derive(Debug)]
+pub(crate) struct PendingTicket {
+    pub(crate) key: (Vec<usize>, u64),
+    pub(crate) participants: usize,
+}
+
+/// Handle for a collective started with [`Communicator::begin_allreduce`] or
+/// [`Communicator::begin_broadcast`] and finished with
+/// [`Communicator::complete`].
+///
+/// Splitting initiation from completion lets the K-FAC stage pipeline start
+/// a layer's allreduce/broadcast, run local eig/GEMM work for other layers,
+/// and only block when the result is actually needed. The handle also
+/// carries the [`CommTag`] of the issuing stage for meter attribution.
+///
+/// Dropping a pending handle without calling `complete` leaves the
+/// rendezvous slot behind and will wedge the other participants — every
+/// handle must be completed.
+#[must_use = "a pending collective must be passed to Communicator::complete"]
+#[derive(Debug)]
+pub struct PendingCollective {
+    /// Result already available at begin time (world-of-one, default
+    /// blocking impls, or backends that finished eagerly).
+    payload: Option<Vec<f32>>,
+    /// Backend rendezvous ticket when the result is not yet available.
+    ticket: Option<PendingTicket>,
+    tag: CommTag,
+}
+
+impl PendingCollective {
+    /// A collective that finished at begin time with this result.
+    pub fn ready(payload: Vec<f32>, tag: CommTag) -> Self {
+        PendingCollective { payload: Some(payload), ticket: None, tag }
+    }
+
+    /// A collective whose completion is a no-op (e.g. the broadcast root:
+    /// its buffer already holds the payload).
+    pub fn noop(tag: CommTag) -> Self {
+        PendingCollective { payload: None, ticket: None, tag }
+    }
+
+    pub(crate) fn in_flight(key: (Vec<usize>, u64), participants: usize, tag: CommTag) -> Self {
+        PendingCollective { payload: None, ticket: Some(PendingTicket { key, participants }), tag }
+    }
+
+    pub(crate) fn take_payload(&mut self) -> Option<Vec<f32>> {
+        self.payload.take()
+    }
+
+    pub(crate) fn take_ticket(&mut self) -> Option<PendingTicket> {
+        self.ticket.take()
+    }
+
+    /// The pipeline stage this collective was issued by.
+    pub fn tag(&self) -> CommTag {
+        self.tag
+    }
+}
 
 /// Reduction operator for [`Communicator::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +149,52 @@ pub trait Communicator: Send + Sync {
 
     /// Block until every rank has reached the barrier.
     fn barrier(&self);
+
+    /// Start a (sub-)group allreduce without waiting for its result. The
+    /// contribution is captured from `buf` at call time; retrieve the result
+    /// with [`Communicator::complete`].
+    ///
+    /// The default implementation blocks (begin-then-complete degenerates to
+    /// the plain collective) — correct for single-rank backends like
+    /// [`LocalComm`]; true multi-rank backends must override it to be
+    /// non-blocking or a begin-many-then-complete pattern would deadlock.
+    fn begin_allreduce(
+        &self,
+        buf: &[f32],
+        op: ReduceOp,
+        group: &[usize],
+        tag: CommTag,
+    ) -> PendingCollective {
+        let mut tmp = buf.to_vec();
+        self.allreduce_group(&mut tmp, op, group);
+        PendingCollective::ready(tmp, tag)
+    }
+
+    /// Start a (sub-)group broadcast without waiting. On the root, `buf`
+    /// supplies the payload and completion is a no-op; on other members the
+    /// payload arrives at [`Communicator::complete`].
+    ///
+    /// Same blocking-default caveat as [`Communicator::begin_allreduce`].
+    fn begin_broadcast(
+        &self,
+        buf: &[f32],
+        root: usize,
+        group: &[usize],
+        tag: CommTag,
+    ) -> PendingCollective {
+        let mut tmp = buf.to_vec();
+        self.broadcast_group(&mut tmp, root, group);
+        PendingCollective::ready(tmp, tag)
+    }
+
+    /// Block until `pending` finishes and write its result into `buf`
+    /// (no-op completions leave `buf` untouched).
+    fn complete(&self, pending: PendingCollective, buf: &mut [f32]) {
+        let mut pending = pending;
+        if let Some(payload) = pending.take_payload() {
+            buf.copy_from_slice(&payload);
+        }
+    }
 
     /// Snapshot of this communicator's traffic meter.
     fn meter_snapshot(&self) -> MeterSnapshot;

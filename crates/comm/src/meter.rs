@@ -2,8 +2,9 @@
 //!
 //! Each communicator owns a meter that records, per collective type, the
 //! number of invocations, total payload bytes, and the simulated seconds the
-//! α–β cost model assigns. The figure harness reads these to break iteration
-//! time into the stages of Figure 7 of the paper.
+//! α–β cost model assigns. Every event also carries a [`CommTag`] naming the
+//! pipeline stage that issued it, so the figure harness can break iteration
+//! time and byte volume into the stages of Figure 7 of the paper.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -46,6 +47,53 @@ impl CommOp {
     }
 }
 
+/// K-FAC pipeline stage that issued a collective.
+///
+/// Attribution tag carried by [`CommEvent`] and by
+/// [`crate::PendingCollective`], mapping metered traffic onto the comm
+/// stages of the paper's Figure 7 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommTag {
+    /// Kronecker-factor allreduce ("factor comm").
+    FactorComm,
+    /// Eigenbasis / inverse / outer-product broadcasts ("eig bcast").
+    EigComm,
+    /// Preconditioned-gradient broadcasts ("grad bcast").
+    GradComm,
+    /// Data-parallel gradient allreduce (outside the K-FAC step).
+    Ddp,
+    /// Anything else: barriers, tests, ad-hoc traffic.
+    Untagged,
+}
+
+impl CommTag {
+    /// All tags, in display order.
+    pub const ALL: [CommTag; 5] =
+        [CommTag::FactorComm, CommTag::EigComm, CommTag::GradComm, CommTag::Ddp, CommTag::Untagged];
+
+    /// Index into the meter's per-tag counter arrays.
+    fn slot(self) -> usize {
+        match self {
+            CommTag::FactorComm => 0,
+            CommTag::EigComm => 1,
+            CommTag::GradComm => 2,
+            CommTag::Ddp => 3,
+            CommTag::Untagged => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommTag::FactorComm => "factor_comm",
+            CommTag::EigComm => "eig_comm",
+            CommTag::GradComm => "grad_comm",
+            CommTag::Ddp => "ddp",
+            CommTag::Untagged => "untagged",
+        }
+    }
+}
+
 /// A single metered collective invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommEvent {
@@ -57,9 +105,12 @@ pub struct CommEvent {
     pub group_size: usize,
     /// Simulated seconds charged by the cost model.
     pub seconds: f64,
+    /// Pipeline stage that issued the collective.
+    pub tag: CommTag,
 }
 
 const N_OPS: usize = 4;
+const N_TAGS: usize = 5;
 
 /// Lock-free accumulation of communication statistics.
 ///
@@ -70,6 +121,9 @@ pub struct Meter {
     calls: [AtomicU64; N_OPS],
     bytes: [AtomicU64; N_OPS],
     nanos: [AtomicU64; N_OPS],
+    tag_calls: [AtomicU64; N_TAGS],
+    tag_bytes: [AtomicU64; N_TAGS],
+    tag_nanos: [AtomicU64; N_TAGS],
 }
 
 impl Meter {
@@ -84,6 +138,10 @@ impl Meter {
         self.calls[s].fetch_add(1, Ordering::Relaxed);
         self.bytes[s].fetch_add(event.bytes as u64, Ordering::Relaxed);
         self.nanos[s].fetch_add((event.seconds * 1e9) as u64, Ordering::Relaxed);
+        let t = event.tag.slot();
+        self.tag_calls[t].fetch_add(1, Ordering::Relaxed);
+        self.tag_bytes[t].fetch_add(event.bytes as u64, Ordering::Relaxed);
+        self.tag_nanos[t].fetch_add((event.seconds * 1e9) as u64, Ordering::Relaxed);
     }
 
     /// Consistent-enough snapshot for reporting (counters are monotone).
@@ -94,6 +152,12 @@ impl Meter {
             snap.calls[s] = self.calls[s].load(Ordering::Relaxed);
             snap.bytes[s] = self.bytes[s].load(Ordering::Relaxed);
             snap.seconds[s] = self.nanos[s].load(Ordering::Relaxed) as f64 * 1e-9;
+        }
+        for tag in CommTag::ALL {
+            let t = tag.slot();
+            snap.tag_calls[t] = self.tag_calls[t].load(Ordering::Relaxed);
+            snap.tag_bytes[t] = self.tag_bytes[t].load(Ordering::Relaxed);
+            snap.tag_seconds[t] = self.tag_nanos[t].load(Ordering::Relaxed) as f64 * 1e-9;
         }
         snap.simulated_seconds = snap.seconds.iter().sum();
         snap
@@ -106,6 +170,11 @@ impl Meter {
             self.bytes[s].store(0, Ordering::Relaxed);
             self.nanos[s].store(0, Ordering::Relaxed);
         }
+        for t in 0..N_TAGS {
+            self.tag_calls[t].store(0, Ordering::Relaxed);
+            self.tag_bytes[t].store(0, Ordering::Relaxed);
+            self.tag_nanos[t].store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -115,6 +184,9 @@ pub struct MeterSnapshot {
     calls: [u64; N_OPS],
     bytes: [u64; N_OPS],
     seconds: [f64; N_OPS],
+    tag_calls: [u64; N_TAGS],
+    tag_bytes: [u64; N_TAGS],
+    tag_seconds: [f64; N_TAGS],
     /// Total simulated communication seconds across all collectives.
     pub simulated_seconds: f64,
 }
@@ -135,6 +207,21 @@ impl MeterSnapshot {
         self.seconds[op.slot()]
     }
 
+    /// Invocation count attributed to one pipeline stage.
+    pub fn tag_calls(&self, tag: CommTag) -> u64 {
+        self.tag_calls[tag.slot()]
+    }
+
+    /// Payload bytes attributed to one pipeline stage.
+    pub fn tag_bytes(&self, tag: CommTag) -> u64 {
+        self.tag_bytes[tag.slot()]
+    }
+
+    /// Simulated seconds attributed to one pipeline stage.
+    pub fn tag_seconds(&self, tag: CommTag) -> f64 {
+        self.tag_seconds[tag.slot()]
+    }
+
     /// Total payload bytes across all collectives.
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().sum()
@@ -148,6 +235,11 @@ impl MeterSnapshot {
             out.bytes[s] = self.bytes[s].saturating_sub(earlier.bytes[s]);
             out.seconds[s] = (self.seconds[s] - earlier.seconds[s]).max(0.0);
         }
+        for t in 0..N_TAGS {
+            out.tag_calls[t] = self.tag_calls[t].saturating_sub(earlier.tag_calls[t]);
+            out.tag_bytes[t] = self.tag_bytes[t].saturating_sub(earlier.tag_bytes[t]);
+            out.tag_seconds[t] = (self.tag_seconds[t] - earlier.tag_seconds[t]).max(0.0);
+        }
         out.simulated_seconds = out.seconds.iter().sum();
         out
     }
@@ -160,9 +252,27 @@ mod tests {
     #[test]
     fn record_and_snapshot() {
         let m = Meter::new();
-        m.record(CommEvent { op: CommOp::Allreduce, bytes: 100, group_size: 4, seconds: 0.5 });
-        m.record(CommEvent { op: CommOp::Allreduce, bytes: 50, group_size: 4, seconds: 0.25 });
-        m.record(CommEvent { op: CommOp::Broadcast, bytes: 10, group_size: 2, seconds: 0.1 });
+        m.record(CommEvent {
+            op: CommOp::Allreduce,
+            bytes: 100,
+            group_size: 4,
+            seconds: 0.5,
+            tag: CommTag::FactorComm,
+        });
+        m.record(CommEvent {
+            op: CommOp::Allreduce,
+            bytes: 50,
+            group_size: 4,
+            seconds: 0.25,
+            tag: CommTag::FactorComm,
+        });
+        m.record(CommEvent {
+            op: CommOp::Broadcast,
+            bytes: 10,
+            group_size: 2,
+            seconds: 0.1,
+            tag: CommTag::EigComm,
+        });
         let s = m.snapshot();
         assert_eq!(s.calls(CommOp::Allreduce), 2);
         assert_eq!(s.bytes(CommOp::Allreduce), 150);
@@ -172,23 +282,79 @@ mod tests {
     }
 
     #[test]
+    fn tags_partition_traffic() {
+        let m = Meter::new();
+        m.record(CommEvent {
+            op: CommOp::Allreduce,
+            bytes: 64,
+            group_size: 4,
+            seconds: 0.2,
+            tag: CommTag::FactorComm,
+        });
+        m.record(CommEvent {
+            op: CommOp::Broadcast,
+            bytes: 32,
+            group_size: 4,
+            seconds: 0.1,
+            tag: CommTag::GradComm,
+        });
+        m.record(CommEvent {
+            op: CommOp::Broadcast,
+            bytes: 16,
+            group_size: 2,
+            seconds: 0.05,
+            tag: CommTag::EigComm,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.tag_bytes(CommTag::FactorComm), 64);
+        assert_eq!(s.tag_bytes(CommTag::GradComm), 32);
+        assert_eq!(s.tag_bytes(CommTag::EigComm), 16);
+        assert_eq!(s.tag_bytes(CommTag::Untagged), 0);
+        assert_eq!(s.tag_calls(CommTag::GradComm), 1);
+        // Per-tag totals must equal per-op totals: every event has one tag.
+        let tag_total: u64 = CommTag::ALL.iter().map(|&t| s.tag_bytes(t)).sum();
+        assert_eq!(tag_total, s.total_bytes());
+    }
+
+    #[test]
     fn delta_between_snapshots() {
         let m = Meter::new();
-        m.record(CommEvent { op: CommOp::Broadcast, bytes: 8, group_size: 2, seconds: 0.1 });
+        m.record(CommEvent {
+            op: CommOp::Broadcast,
+            bytes: 8,
+            group_size: 2,
+            seconds: 0.1,
+            tag: CommTag::Untagged,
+        });
         let before = m.snapshot();
-        m.record(CommEvent { op: CommOp::Broadcast, bytes: 24, group_size: 2, seconds: 0.3 });
+        m.record(CommEvent {
+            op: CommOp::Broadcast,
+            bytes: 24,
+            group_size: 2,
+            seconds: 0.3,
+            tag: CommTag::GradComm,
+        });
         let after = m.snapshot();
         let d = after.delta_since(&before);
         assert_eq!(d.calls(CommOp::Broadcast), 1);
         assert_eq!(d.bytes(CommOp::Broadcast), 24);
         assert!((d.seconds(CommOp::Broadcast) - 0.3).abs() < 1e-6);
+        assert_eq!(d.tag_bytes(CommTag::GradComm), 24);
+        assert_eq!(d.tag_bytes(CommTag::Untagged), 0);
     }
 
     #[test]
     fn reset_zeroes() {
         let m = Meter::new();
-        m.record(CommEvent { op: CommOp::Barrier, bytes: 0, group_size: 8, seconds: 0.0 });
+        m.record(CommEvent {
+            op: CommOp::Barrier,
+            bytes: 0,
+            group_size: 8,
+            seconds: 0.0,
+            tag: CommTag::Untagged,
+        });
         m.reset();
         assert_eq!(m.snapshot().calls(CommOp::Barrier), 0);
+        assert_eq!(m.snapshot().tag_calls(CommTag::Untagged), 0);
     }
 }

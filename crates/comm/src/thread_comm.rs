@@ -1,12 +1,10 @@
 //! Thread-rank communicator with shared-memory rendezvous collectives.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
-use parking_lot::{Condvar, Mutex};
-
-use crate::meter::{CommEvent, CommOp, Meter, MeterSnapshot};
-use crate::{CollectiveCostModel, Communicator, ReduceOp};
+use crate::meter::{CommEvent, CommOp, CommTag, Meter, MeterSnapshot};
+use crate::{CollectiveCostModel, Communicator, PendingCollective, ReduceOp};
 
 /// Key identifying one in-flight collective: the (sorted) participating
 /// group plus that group's per-member operation sequence number. Matching
@@ -38,6 +36,15 @@ struct CommCore {
 /// run a closure on every rank with [`ThreadComm::run`]. Handles share the
 /// rendezvous core and traffic meter; each handle is owned by exactly one
 /// thread.
+///
+/// Collectives come in blocking form ([`Communicator::allreduce_group`],
+/// [`Communicator::broadcast_group`]) and split begin/complete form
+/// ([`Communicator::begin_allreduce`], [`Communicator::begin_broadcast`],
+/// [`Communicator::complete`]). The blocking form is implemented as
+/// begin-then-complete, so both paths share one rendezvous code path and
+/// produce bitwise-identical results. `begin_*` never blocks: an allreduce
+/// contribution is stashed (the last arriver reduces in rank order), and a
+/// broadcast root posts its payload immediately.
 pub struct ThreadComm {
     rank: usize,
     core: Arc<CommCore>,
@@ -64,7 +71,11 @@ impl ThreadComm {
             cost,
         });
         (0..n)
-            .map(|rank| ThreadComm { rank, core: Arc::clone(&core), seq: Mutex::new(HashMap::new()) })
+            .map(|rank| ThreadComm {
+                rank,
+                core: Arc::clone(&core),
+                seq: Mutex::new(HashMap::new()),
+            })
             .collect()
     }
 
@@ -87,16 +98,13 @@ impl ThreadComm {
         let comms = Self::world_with_cost(n, cost);
         let f = &f;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = comms
-                .iter()
-                .map(|comm| scope.spawn(move || f(comm)))
-                .collect();
+            let handles: Vec<_> = comms.iter().map(|comm| scope.spawn(move || f(comm))).collect();
             handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
         })
     }
 
     fn next_seq(&self, group: &[usize]) -> u64 {
-        let mut seqs = self.seq.lock();
+        let mut seqs = self.seq.lock().unwrap();
         let counter = seqs.entry(group.to_vec()).or_insert(0);
         let s = *counter;
         *counter += 1;
@@ -136,80 +144,75 @@ impl Communicator for ThreadComm {
     }
 
     fn allreduce_group(&self, buf: &mut [f32], op: ReduceOp, group: &[usize]) {
+        let pending = self.begin_allreduce(buf, op, group, CommTag::Untagged);
+        self.complete(pending, buf);
+    }
+
+    fn begin_allreduce(
+        &self,
+        buf: &[f32],
+        op: ReduceOp,
+        group: &[usize],
+        tag: CommTag,
+    ) -> PendingCollective {
         let group = self.normalize_group(group);
         let p = group.len();
         if p == 1 {
-            if op == ReduceOp::Avg {
-                // Average over a singleton group is the identity.
-            }
-            return;
+            // Sum/Avg/Max over a singleton group is the identity.
+            return PendingCollective::ready(buf.to_vec(), tag);
         }
         let key = (group.clone(), self.next_seq(&group));
         let bytes = std::mem::size_of_val(buf);
 
-        let mut slots = self.core.slots.lock();
-        {
-            let slot = slots.entry(key.clone()).or_default();
-            // Stash contributions per rank; the last arriver reduces them in
-            // rank order so results are bit-deterministic regardless of
-            // thread scheduling (floating-point addition is not associative).
-            slot.gather.insert(self.rank, buf.to_vec());
-            slot.arrived += 1;
-            if slot.arrived == p {
-                let mut acc: Option<Vec<f32>> = None;
-                for (_, part) in slot.gather.iter() {
-                    match acc.as_mut() {
-                        None => acc = Some(part.clone()),
-                        Some(acc) => {
-                            debug_assert_eq!(acc.len(), part.len(), "allreduce length mismatch");
-                            match op {
-                                ReduceOp::Sum | ReduceOp::Avg => {
-                                    for (a, b) in acc.iter_mut().zip(part) {
-                                        *a += *b;
-                                    }
+        let mut slots = self.core.slots.lock().unwrap();
+        let slot = slots.entry(key.clone()).or_default();
+        // Stash contributions per rank; the last arriver reduces them in
+        // rank order so results are bit-deterministic regardless of
+        // thread scheduling (floating-point addition is not associative).
+        slot.gather.insert(self.rank, buf.to_vec());
+        slot.arrived += 1;
+        if slot.arrived == p {
+            let mut acc: Option<Vec<f32>> = None;
+            for (_, part) in slot.gather.iter() {
+                match acc.as_mut() {
+                    None => acc = Some(part.clone()),
+                    Some(acc) => {
+                        debug_assert_eq!(acc.len(), part.len(), "allreduce length mismatch");
+                        match op {
+                            ReduceOp::Sum | ReduceOp::Avg => {
+                                for (a, b) in acc.iter_mut().zip(part) {
+                                    *a += *b;
                                 }
-                                ReduceOp::Max => {
-                                    for (a, b) in acc.iter_mut().zip(part) {
-                                        *a = a.max(*b);
-                                    }
+                            }
+                            ReduceOp::Max => {
+                                for (a, b) in acc.iter_mut().zip(part) {
+                                    *a = a.max(*b);
                                 }
                             }
                         }
                     }
                 }
-                let mut result = acc.expect("at least one contribution");
-                if op == ReduceOp::Avg {
-                    let inv = 1.0 / p as f32;
-                    for v in result.iter_mut() {
-                        *v *= inv;
-                    }
-                }
-                slot.buf = Some(result);
-                slot.gather.clear();
-                slot.ready = true;
-                self.core.meter.record(CommEvent {
-                    op: CommOp::Allreduce,
-                    bytes,
-                    group_size: p,
-                    seconds: self.core.cost.allreduce(bytes, p),
-                });
-                self.core.cond.notify_all();
             }
-        }
-        loop {
-            {
-                let slot = slots.get_mut(&key).expect("slot vanished before completion");
-                if slot.ready {
-                    buf.copy_from_slice(slot.buf.as_ref().expect("result present"));
-                    slot.done += 1;
-                    if slot.done == p {
-                        slots.remove(&key);
-                    }
-                    return;
+            let mut result = acc.expect("at least one contribution");
+            if op == ReduceOp::Avg {
+                let inv = 1.0 / p as f32;
+                for v in result.iter_mut() {
+                    *v *= inv;
                 }
             }
-            self.core.cond.wait(&mut slots);
+            slot.buf = Some(result);
+            slot.gather.clear();
+            slot.ready = true;
+            self.core.meter.record(CommEvent {
+                op: CommOp::Allreduce,
+                bytes,
+                group_size: p,
+                seconds: self.core.cost.allreduce(bytes, p),
+                tag,
+            });
+            self.core.cond.notify_all();
         }
+        PendingCollective::in_flight(key, p, tag)
     }
 
     fn broadcast(&self, buf: &mut [f32], root: usize) {
@@ -218,17 +221,28 @@ impl Communicator for ThreadComm {
     }
 
     fn broadcast_group(&self, buf: &mut [f32], root: usize, group: &[usize]) {
+        let pending = self.begin_broadcast(buf, root, group, CommTag::Untagged);
+        self.complete(pending, buf);
+    }
+
+    fn begin_broadcast(
+        &self,
+        buf: &[f32],
+        root: usize,
+        group: &[usize],
+        tag: CommTag,
+    ) -> PendingCollective {
         let group = self.normalize_group(group);
         assert!(group.contains(&root), "broadcast root {root} not in group {group:?}");
         let p = group.len();
         if p == 1 {
-            return;
+            return PendingCollective::noop(tag);
         }
         let key = (group.clone(), self.next_seq(&group));
         let bytes = std::mem::size_of_val(buf);
 
-        let mut slots = self.core.slots.lock();
         if self.rank == root {
+            let mut slots = self.core.slots.lock().unwrap();
             let slot = slots.entry(key.clone()).or_default();
             slot.buf = Some(buf.to_vec());
             slot.ready = true;
@@ -239,26 +253,43 @@ impl Communicator for ThreadComm {
                 bytes,
                 group_size: p,
                 seconds: self.core.cost.broadcast(bytes, p),
+                tag,
             });
             self.core.cond.notify_all();
             if remove {
                 slots.remove(&key);
             }
+            // The root's buffer already holds the payload.
+            return PendingCollective::noop(tag);
+        }
+        PendingCollective::in_flight(key, p, tag)
+    }
+
+    fn complete(&self, pending: PendingCollective, buf: &mut [f32]) {
+        let mut pending = pending;
+        if let Some(payload) = pending.take_payload() {
+            buf.copy_from_slice(&payload);
             return;
         }
+        let Some(ticket) = pending.take_ticket() else {
+            return; // No-op completion (broadcast root, singleton group).
+        };
+        let mut slots = self.core.slots.lock().unwrap();
         loop {
             {
-                let slot = slots.entry(key.clone()).or_default();
+                // `entry` rather than `get`: a broadcast receiver may reach
+                // completion before the root has posted the slot.
+                let slot = slots.entry(ticket.key.clone()).or_default();
                 if slot.ready {
-                    buf.copy_from_slice(slot.buf.as_ref().expect("payload present"));
+                    buf.copy_from_slice(slot.buf.as_ref().expect("result present"));
                     slot.done += 1;
-                    if slot.done == p {
-                        slots.remove(&key);
+                    if slot.done == ticket.participants {
+                        slots.remove(&ticket.key);
                     }
                     return;
                 }
             }
-            self.core.cond.wait(&mut slots);
+            slots = self.core.cond.wait(slots).unwrap();
         }
     }
 
@@ -271,7 +302,7 @@ impl Communicator for ThreadComm {
         let key = (group.clone(), self.next_seq(&group));
         let bytes = std::mem::size_of_val(send);
 
-        let mut slots = self.core.slots.lock();
+        let mut slots = self.core.slots.lock().unwrap();
         {
             let slot = slots.entry(key.clone()).or_default();
             slot.gather.insert(self.rank, send.to_vec());
@@ -283,6 +314,7 @@ impl Communicator for ThreadComm {
                     bytes,
                     group_size: p,
                     seconds: self.core.cost.allgather(bytes, p),
+                    tag: CommTag::Untagged,
                 });
                 self.core.cond.notify_all();
             }
@@ -302,7 +334,7 @@ impl Communicator for ThreadComm {
                     return out;
                 }
             }
-            self.core.cond.wait(&mut slots);
+            slots = self.core.cond.wait(slots).unwrap();
         }
     }
 
@@ -319,7 +351,7 @@ impl Communicator for ThreadComm {
         // allreduce), not the naive algorithm used for correctness.
         let key = (group.clone(), self.next_seq(&group));
         let bytes = std::mem::size_of_val(send);
-        let mut slots = self.core.slots.lock();
+        let mut slots = self.core.slots.lock().unwrap();
         {
             let slot = slots.entry(key.clone()).or_default();
             slot.gather.insert(self.rank, send.to_vec());
@@ -344,6 +376,7 @@ impl Communicator for ThreadComm {
                     bytes,
                     group_size: p,
                     seconds: self.core.cost.allreduce(bytes, p) / 2.0,
+                    tag: CommTag::Untagged,
                 });
                 self.core.cond.notify_all();
             }
@@ -361,7 +394,7 @@ impl Communicator for ThreadComm {
                     return out;
                 }
             }
-            self.core.cond.wait(&mut slots);
+            slots = self.core.cond.wait(slots).unwrap();
         }
     }
 
@@ -372,7 +405,7 @@ impl Communicator for ThreadComm {
             return;
         }
         let key = (group.clone(), self.next_seq(&group));
-        let mut slots = self.core.slots.lock();
+        let mut slots = self.core.slots.lock().unwrap();
         {
             let slot = slots.entry(key.clone()).or_default();
             slot.arrived += 1;
@@ -383,6 +416,7 @@ impl Communicator for ThreadComm {
                     bytes: 0,
                     group_size: p,
                     seconds: self.core.cost.barrier(p),
+                    tag: CommTag::Untagged,
                 });
                 self.core.cond.notify_all();
             }
@@ -398,7 +432,7 @@ impl Communicator for ThreadComm {
                     return;
                 }
             }
-            self.core.cond.wait(&mut slots);
+            slots = self.core.cond.wait(slots).unwrap();
         }
     }
 
@@ -451,11 +485,8 @@ mod tests {
     fn broadcast_from_each_root() {
         for root in 0..3 {
             let results = ThreadComm::run(3, move |comm| {
-                let mut buf = if comm.rank() == root {
-                    vec![42.0, root as f32]
-                } else {
-                    vec![0.0, 0.0]
-                };
+                let mut buf =
+                    if comm.rank() == root { vec![42.0, root as f32] } else { vec![0.0, 0.0] };
                 comm.broadcast(&mut buf, root);
                 buf
             });
@@ -499,9 +530,7 @@ mod tests {
 
     #[test]
     fn allgather_rank_order() {
-        let results = ThreadComm::run(3, |comm| {
-            comm.allgather(&[comm.rank() as f32 * 10.0, 1.0])
-        });
+        let results = ThreadComm::run(3, |comm| comm.allgather(&[comm.rank() as f32 * 10.0, 1.0]));
         for r in results {
             assert_eq!(r, vec![0.0, 1.0, 10.0, 1.0, 20.0, 1.0]);
         }
@@ -585,6 +614,119 @@ mod tests {
         for r in results {
             assert_eq!(r, 50.0 * n as f32);
         }
+    }
+}
+
+#[cfg(test)]
+mod pending_tests {
+    use super::*;
+
+    #[test]
+    fn begin_allreduce_overlaps_local_work() {
+        let results = ThreadComm::run(4, |comm| {
+            let contribution = vec![(comm.rank() + 1) as f32; 8];
+            let pending = comm.begin_allreduce(
+                &contribution,
+                ReduceOp::Sum,
+                &[0, 1, 2, 3],
+                CommTag::FactorComm,
+            );
+            // Local "compute" overlapped with the in-flight collective.
+            let local: f32 = (0..100).map(|i| i as f32).sum();
+            let mut out = vec![0.0f32; 8];
+            comm.complete(pending, &mut out);
+            (local, out)
+        });
+        for (local, out) in results {
+            assert_eq!(local, 4950.0);
+            assert_eq!(out, vec![10.0; 8]);
+        }
+    }
+
+    #[test]
+    fn begin_broadcast_root_is_immediate() {
+        let results = ThreadComm::run(3, |comm| {
+            let mut buf = if comm.rank() == 1 { vec![3.0f32, 4.0] } else { vec![0.0f32; 2] };
+            let pending = comm.begin_broadcast(&buf, 1, &[0, 1, 2], CommTag::EigComm);
+            comm.complete(pending, &mut buf);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, vec![3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn split_and_blocking_forms_match_bitwise() {
+        // Awkward float values whose sum depends on association order; the
+        // split path must reduce in exactly the same order as blocking.
+        let blocking = ThreadComm::run(4, |comm| {
+            let mut buf: Vec<f32> =
+                (0..16).map(|i| 0.1 + comm.rank() as f32 * 1e-7 + i as f32 * 0.3).collect();
+            comm.allreduce(&mut buf, ReduceOp::Avg);
+            buf
+        });
+        let split = ThreadComm::run(4, |comm| {
+            let contribution: Vec<f32> =
+                (0..16).map(|i| 0.1 + comm.rank() as f32 * 1e-7 + i as f32 * 0.3).collect();
+            let pending = comm.begin_allreduce(
+                &contribution,
+                ReduceOp::Avg,
+                &[0, 1, 2, 3],
+                CommTag::Untagged,
+            );
+            let mut out = vec![0.0f32; 16];
+            comm.complete(pending, &mut out);
+            out
+        });
+        for (b, s) in blocking.iter().zip(&split) {
+            assert_eq!(
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                s.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_in_flight_collectives_complete_out_of_order() {
+        // Begin several collectives on different groups, then complete them
+        // in reverse order — the per-group sequence numbers keep matching
+        // correct.
+        let results = ThreadComm::run(4, |comm| {
+            let mine = vec![comm.rank() as f32 + 1.0; 4];
+            let p_world =
+                comm.begin_allreduce(&mine, ReduceOp::Sum, &[0, 1, 2, 3], CommTag::FactorComm);
+            let pair = if comm.rank() < 2 { vec![0usize, 1] } else { vec![2usize, 3] };
+            let p_pair = comm.begin_allreduce(&mine, ReduceOp::Sum, &pair, CommTag::GradComm);
+            let mut pair_out = vec![0.0f32; 4];
+            let mut world_out = vec![0.0f32; 4];
+            comm.complete(p_pair, &mut pair_out);
+            comm.complete(p_world, &mut world_out);
+            (pair_out[0], world_out[0])
+        });
+        assert_eq!(results, vec![(3.0, 10.0), (3.0, 10.0), (7.0, 10.0), (7.0, 10.0)]);
+    }
+
+    #[test]
+    fn meter_attributes_bytes_to_tags() {
+        let comms = ThreadComm::world(2);
+        std::thread::scope(|s| {
+            for comm in &comms {
+                s.spawn(move || {
+                    let buf = vec![1.0f32; 16]; // 64 bytes
+                    let p = comm.begin_allreduce(&buf, ReduceOp::Sum, &[0, 1], CommTag::FactorComm);
+                    let mut out = vec![0.0f32; 16];
+                    comm.complete(p, &mut out);
+                    let p = comm.begin_broadcast(&out, 0, &[0, 1], CommTag::GradComm);
+                    comm.complete(p, &mut out);
+                });
+            }
+        });
+        let snap = comms[0].meter_snapshot();
+        assert_eq!(snap.tag_bytes(CommTag::FactorComm), 64);
+        assert_eq!(snap.tag_bytes(CommTag::GradComm), 64);
+        assert_eq!(snap.tag_bytes(CommTag::EigComm), 0);
+        assert_eq!(snap.tag_calls(CommTag::FactorComm), 1);
     }
 }
 

@@ -112,13 +112,11 @@ pub fn plan_assignments(
         //    each non-empty group is [root, receivers...].
         let receivers: Vec<usize> =
             (0..world).filter(|r| gradient_workers.binary_search(r).is_err()).collect();
-        let mut groups: Vec<Vec<usize>> =
-            gradient_workers.iter().map(|&w| vec![w]).collect();
+        let mut groups: Vec<Vec<usize>> = gradient_workers.iter().map(|&w| vec![w]).collect();
         for (j, &r) in receivers.iter().enumerate() {
             groups[j % workers_per_layer].push(r);
         }
-        let bcast_groups: Vec<Vec<usize>> =
-            groups.into_iter().filter(|g| g.len() > 1).collect();
+        let bcast_groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| g.len() > 1).collect();
 
         layers.push(LayerAssignment {
             layer: i,

@@ -43,6 +43,13 @@ pub struct KfacConfig {
     /// corrected second moments updated every step — the extension the
     /// paper's Related Work proposes layering on this framework.
     pub ekfac: bool,
+    /// Execute `step()` through the per-layer stage pipeline: collectives
+    /// are initiated with non-blocking handles and completed after other
+    /// layers' local compute, overlapping communication with computation.
+    /// The serial executor (`false`) runs each layer's stages strictly in
+    /// order; both paths are bitwise-identical (property-tested), so this
+    /// only trades wall-clock for simplicity when debugging.
+    pub pipelined: bool,
 }
 
 impl Default for KfacConfig {
@@ -60,6 +67,7 @@ impl Default for KfacConfig {
             use_eigen: true,
             assignment: AssignmentStrategy::ComputeLpt,
             ekfac: false,
+            pipelined: true,
         }
     }
 }
@@ -74,10 +82,7 @@ impl KfacConfig {
     pub fn validate(&self) {
         assert!(self.grad_worker_frac > 0.0, "grad_worker_frac must be positive");
         assert!(self.damping > 0.0, "damping must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.factor_decay),
-            "factor_decay must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&self.factor_decay), "factor_decay must be in [0, 1)");
         assert!(self.factor_update_freq > 0, "factor_update_freq must be positive");
         assert!(self.inv_update_freq > 0, "inv_update_freq must be positive");
         assert!(
@@ -166,6 +171,13 @@ impl KfacConfigBuilder {
     /// Toggle the EK-FAC eigenvalue correction.
     pub fn ekfac(mut self, on: bool) -> Self {
         self.cfg.ekfac = on;
+        self
+    }
+
+    /// Toggle the stage-pipelined executor (non-blocking collectives with
+    /// compute/communication overlap) vs. the serial reference executor.
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.cfg.pipelined = on;
         self
     }
 

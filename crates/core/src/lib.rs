@@ -39,15 +39,17 @@
 
 mod assignment;
 mod config;
+pub mod pipeline;
 mod preconditioner;
 mod state;
 mod timing;
 
 pub use assignment::{plan_assignments, AssignmentStrategy, LayerAssignment, WorkPlan};
 pub use config::{KfacConfig, KfacConfigBuilder};
+pub use pipeline::{ComputeRates, PipelineStage, StepModel, TaskGraph};
 pub use preconditioner::Kfac;
 pub use state::KfacLayerState;
-pub use timing::{StageTimes, KFAC_STAGES};
+pub use timing::{Stage, StageTimes, KFAC_STAGES};
 
 /// Distribution strategy implied by a `grad_worker_frac` (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -17,14 +17,15 @@
 //! 4. **Scaling** (every step): KL-clip scaling `ν = min(1, √(κ/Σ⟨p,g⟩lr²))`
 //!    and write-back into the model's gradients.
 
-use kaisa_comm::{Communicator, ReduceOp};
-use kaisa_linalg::{pack_upper, packed_len, unpack_upper};
+use kaisa_comm::{CommTag, Communicator, ReduceOp};
 use kaisa_nn::Model;
-use kaisa_tensor::{Matrix, Precision};
+use kaisa_tensor::Matrix;
 
 use crate::assignment::{plan_assignments, WorkPlan};
 use crate::config::KfacConfig;
-use crate::state::KfacLayerState;
+use crate::state::{
+    factor_payload_len, pack_factor_payload, unpack_factor_payload, KfacLayerState,
+};
 use crate::timing::{Stage, StageTimes};
 use crate::DistStrategy;
 
@@ -45,19 +46,19 @@ use crate::DistStrategy;
 /// }
 /// ```
 pub struct Kfac {
-    cfg: KfacConfig,
-    plan: WorkPlan,
-    states: Vec<KfacLayerState>,
-    rank: usize,
-    world: usize,
-    steps: u64,
-    times: StageTimes,
+    pub(crate) cfg: KfacConfig,
+    pub(crate) plan: WorkPlan,
+    pub(crate) states: Vec<KfacLayerState>,
+    pub(crate) rank: usize,
+    pub(crate) world: usize,
+    pub(crate) steps: u64,
+    pub(crate) times: StageTimes,
     /// Logical K-FAC communication bytes attributed to this rank at the
     /// configured storage precision: allreduce payloads count once per
     /// participant; broadcast traffic (`payload x receivers`) is attributed
     /// to the root. The live `kaisa-comm` meter separately counts physical
     /// `f32` buffers per collective.
-    comm_bytes: u64,
+    pub(crate) comm_bytes: u64,
 }
 
 impl Kfac {
@@ -152,19 +153,30 @@ impl Kfac {
         let mut layers = model.kfac_layers();
         assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
 
-        if factor_step {
-            self.update_factors(&mut layers, comm);
+        if self.cfg.pipelined {
+            if factor_step {
+                self.update_factors_pipelined(&mut layers, comm);
+            }
+            if inv_step {
+                self.update_decompositions_pipelined(comm);
+            }
+            self.precondition_and_scale_pipelined(&mut layers, comm, lr);
+        } else {
+            if factor_step {
+                self.update_factors(&mut layers, comm);
+            }
+            if inv_step {
+                self.update_decompositions(comm);
+            }
+            self.precondition_and_scale(&mut layers, comm, lr);
         }
-        if inv_step {
-            self.update_decompositions(comm);
-        }
-        self.precondition_and_scale(&mut layers, comm, lr);
 
         self.steps += 1;
         self.times.steps += 1;
     }
 
-    /// Stage 1: finalize captured statistics and allreduce-average factors.
+    /// Stage 1 (serial executor): finalize captured statistics and
+    /// allreduce-average factors, one blocking collective per layer.
     fn update_factors(
         &mut self,
         layers: &mut [&mut dyn kaisa_nn::KfacAble],
@@ -173,6 +185,7 @@ impl Kfac {
         let precision = self.cfg.precision;
         let decay = self.cfg.factor_decay;
         let triangular = self.cfg.triangular_comm;
+        let world_group: Vec<usize> = (0..self.world).collect();
         for (i, layer) in layers.iter_mut().enumerate() {
             let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
                 panic!(
@@ -180,7 +193,7 @@ impl Kfac {
                     layer.layer_name()
                 )
             });
-            let (mut a_new, mut g_new) = self.times.time(Stage::FactorCompute, || {
+            let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
                 let inv = 1.0 / stats.batches.max(1) as f32;
                 let mut a = stats.a_stat;
                 a.scale(inv);
@@ -189,38 +202,18 @@ impl Kfac {
                 (a, g)
             });
 
-            self.times.time(Stage::FactorComm, || {
-                if triangular {
-                    // Section 4.3: send only the upper triangles, rebuild after.
-                    let mut packed = pack_upper(&a_new);
-                    let g_packed = pack_upper(&g_new);
-                    let split = packed.len();
-                    packed.extend_from_slice(&g_packed);
-                    quantize_slice(&mut packed, precision);
-                    comm.allreduce(&mut packed, ReduceOp::Avg);
-                    quantize_slice(&mut packed, precision);
-                    a_new = unpack_upper(&packed[..split], a_new.rows());
-                    g_new = unpack_upper(&packed[split..], g_new.rows());
-                } else {
-                    let mut buf = Vec::with_capacity(a_new.numel() + g_new.numel());
-                    buf.extend_from_slice(a_new.as_slice());
-                    buf.extend_from_slice(g_new.as_slice());
-                    quantize_slice(&mut buf, precision);
-                    comm.allreduce(&mut buf, ReduceOp::Avg);
-                    quantize_slice(&mut buf, precision);
-                    let a_len = a_new.numel();
-                    a_new.as_mut_slice().copy_from_slice(&buf[..a_len]);
-                    g_new.as_mut_slice().copy_from_slice(&buf[a_len..]);
-                }
+            let (a_dim, g_dim) = (a_new.rows(), g_new.rows());
+            let (a_new, g_new) = self.times.time_layer(i, Stage::FactorComm, || {
+                let (mut buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
+                let pending =
+                    comm.begin_allreduce(&buf, ReduceOp::Avg, &world_group, CommTag::FactorComm);
+                comm.complete(pending, &mut buf);
+                unpack_factor_payload(&mut buf, split, a_dim, g_dim, triangular, precision)
             });
-            let logical = if triangular {
-                packed_len(a_new.rows()) + packed_len(g_new.rows())
-            } else {
-                a_new.numel() + g_new.numel()
-            };
-            self.comm_bytes += (logical * precision.bytes_per_element()) as u64;
+            self.comm_bytes += (factor_payload_len(a_dim, g_dim, triangular)
+                * precision.bytes_per_element()) as u64;
 
-            self.times.time(Stage::FactorCompute, || {
+            self.times.time_layer(i, Stage::FactorCompute, || {
                 self.states[i].update_factors(a_new, g_new, decay);
             });
         }
@@ -250,37 +243,33 @@ impl Kfac {
                 // A worker (both factors live on every rank), broadcast to
                 // gradient workers.
                 if rank == asn.a_worker {
-                    self.times.time(Stage::EigCompute, || {
+                    self.times.time_layer(i, Stage::EigCompute, || {
                         self.states[i].compute_inverses(damping);
                     });
                 }
                 if is_gw && asn.gradient_workers.len() > 1 {
                     let local_a = self.states[i].inv_a.take();
-                    let inv_a = bcast_matrix(
-                        &mut self.times,
-                        &mut self.comm_bytes,
-                        rank,
+                    let mb = self.begin_matrix_bcast(
+                        i,
                         comm,
                         local_a,
                         a_dim,
                         a_dim,
                         asn.a_worker,
                         &asn.gradient_workers,
-                        precision,
                     );
+                    let inv_a = self.complete_matrix_bcast(i, comm, mb);
                     let local_g = self.states[i].inv_g.take();
-                    let inv_g = bcast_matrix(
-                        &mut self.times,
-                        &mut self.comm_bytes,
-                        rank,
+                    let mb = self.begin_matrix_bcast(
+                        i,
                         comm,
                         local_g,
                         g_dim,
                         g_dim,
                         asn.a_worker,
                         &asn.gradient_workers,
-                        precision,
                     );
+                    let inv_g = self.complete_matrix_bcast(i, comm, mb);
                     self.states[i].inv_a = Some(inv_a);
                     self.states[i].inv_g = Some(inv_g);
                 }
@@ -291,12 +280,14 @@ impl Kfac {
             let mut va: Option<Vec<f32>> = None;
             let mut vg: Option<Vec<f32>> = None;
             if rank == asn.a_worker {
-                let (qa, values) = self.times.time(Stage::EigCompute, || self.states[i].eig_a());
+                let (qa, values) =
+                    self.times.time_layer(i, Stage::EigCompute, || self.states[i].eig_a());
                 self.states[i].qa = Some(qa);
                 va = Some(values);
             }
             if rank == asn.g_worker {
-                let (qg, values) = self.times.time(Stage::EigCompute, || self.states[i].eig_g());
+                let (qg, values) =
+                    self.times.time_layer(i, Stage::EigCompute, || self.states[i].eig_g());
                 self.states[i].qg = Some(qg);
                 vg = Some(values);
             }
@@ -304,12 +295,13 @@ impl Kfac {
             if precompute {
                 // Section 4.4: ship v_A to the G worker, which computes the
                 // damped reciprocal outer product exactly once.
-                if asn.a_worker != asn.g_worker && (rank == asn.a_worker || rank == asn.g_worker)
-                {
+                if asn.a_worker != asn.g_worker && (rank == asn.a_worker || rank == asn.g_worker) {
                     let pair = [asn.a_worker, asn.g_worker];
                     let mut buf = va.clone().unwrap_or_else(|| vec![0.0; a_dim]);
-                    self.times.time(Stage::EigComm, || {
-                        comm.broadcast_group(&mut buf, asn.a_worker, &pair);
+                    self.times.time_layer(i, Stage::EigComm, || {
+                        let pending =
+                            comm.begin_broadcast(&buf, asn.a_worker, &pair, CommTag::EigComm);
+                        comm.complete(pending, &mut buf);
                     });
                     if rank == asn.a_worker {
                         self.comm_bytes += (a_dim * precision.bytes_per_element()) as u64;
@@ -319,7 +311,7 @@ impl Kfac {
                     }
                 }
                 if rank == asn.g_worker {
-                    let outer = self.times.time(Stage::EigCompute, || {
+                    let outer = self.times.time_layer(i, Stage::EigCompute, || {
                         KfacLayerState::compute_outer(
                             vg.as_ref().expect("G worker has v_G"),
                             va.as_ref().expect("G worker received v_A"),
@@ -332,63 +324,71 @@ impl Kfac {
 
             if is_gw && asn.gradient_workers.len() > 1 {
                 let local_qa = self.states[i].qa.take();
-                let qa = bcast_matrix(
-                    &mut self.times,
-                    &mut self.comm_bytes,
-                    rank,
+                let mb = self.begin_matrix_bcast(
+                    i,
                     comm,
                     local_qa,
                     a_dim,
                     a_dim,
                     asn.a_worker,
                     &asn.gradient_workers,
-                    precision,
                 );
+                let qa = self.complete_matrix_bcast(i, comm, mb);
                 self.states[i].qa = Some(qa);
                 let local_qg = self.states[i].qg.take();
-                let qg = bcast_matrix(
-                    &mut self.times,
-                    &mut self.comm_bytes,
-                    rank,
+                let mb = self.begin_matrix_bcast(
+                    i,
                     comm,
                     local_qg,
                     g_dim,
                     g_dim,
                     asn.g_worker,
                     &asn.gradient_workers,
-                    precision,
                 );
+                let qg = self.complete_matrix_bcast(i, comm, mb);
                 self.states[i].qg = Some(qg);
                 if precompute {
                     let local_outer = self.states[i].outer.take();
-                    let outer = bcast_matrix(
-                        &mut self.times,
-                        &mut self.comm_bytes,
-                        rank,
+                    let mb = self.begin_matrix_bcast(
+                        i,
                         comm,
                         local_outer,
                         g_dim,
                         a_dim,
                         asn.g_worker,
                         &asn.gradient_workers,
-                        precision,
                     );
+                    let outer = self.complete_matrix_bcast(i, comm, mb);
                     self.states[i].outer = Some(outer);
                 } else {
                     // Ablation: ship raw eigenvalues; every worker recomputes
                     // the outer product at every preconditioning step.
                     let mut va_buf = va.take().unwrap_or_else(|| vec![0.0; a_dim]);
                     let mut vg_buf = vg.take().unwrap_or_else(|| vec![0.0; g_dim]);
-                    self.times.time(Stage::EigComm, || {
-                        comm.broadcast_group(&mut va_buf, asn.a_worker, &asn.gradient_workers);
-                        comm.broadcast_group(&mut vg_buf, asn.g_worker, &asn.gradient_workers);
+                    self.times.time_layer(i, Stage::EigComm, || {
+                        let pending = comm.begin_broadcast(
+                            &va_buf,
+                            asn.a_worker,
+                            &asn.gradient_workers,
+                            CommTag::EigComm,
+                        );
+                        comm.complete(pending, &mut va_buf);
+                        let pending = comm.begin_broadcast(
+                            &vg_buf,
+                            asn.g_worker,
+                            &asn.gradient_workers,
+                            CommTag::EigComm,
+                        );
+                        comm.complete(pending, &mut vg_buf);
                     });
                     let receivers = (asn.gradient_workers.len() - 1) as u64;
                     if rank == asn.a_worker {
-                        self.comm_bytes += (a_dim * precision.bytes_per_element()) as u64 * receivers;
+                        self.comm_bytes +=
+                            (a_dim * precision.bytes_per_element()) as u64 * receivers;
                     }
                     if rank == asn.g_worker {
-                        self.comm_bytes += (g_dim * precision.bytes_per_element()) as u64 * receivers;
+                        self.comm_bytes +=
+                            (g_dim * precision.bytes_per_element()) as u64 * receivers;
                     }
                     self.states[i].va = Some(va_buf);
                     self.states[i].vg = Some(vg_buf);
@@ -416,33 +416,15 @@ impl Kfac {
         lr: f32,
     ) {
         let rank = self.rank;
-        let damping = self.cfg.damping;
         let precision = self.cfg.precision;
-        let use_eigen = self.cfg.use_eigen;
-        let ekfac = self.cfg.ekfac;
-        let factor_decay = self.cfg.factor_decay;
 
         let grads: Vec<Matrix> = layers.iter().map(|l| l.combined_grad()).collect();
         let mut preconditioned: Vec<Matrix> = Vec::with_capacity(grads.len());
 
         for (i, grad) in grads.iter().enumerate() {
-            let asn = &self.plan.layers[i];
+            let asn = self.plan.layers[i].clone();
             let is_gw = asn.is_gradient_worker(rank);
-            let (g_dim, a_dim) = (self.states[i].g_dim, self.states[i].a_dim);
-            let mut precond = if is_gw {
-                let state = &mut self.states[i];
-                self.times.time(Stage::Precondition, || {
-                    if ekfac {
-                        state.precondition_ekfac(grad, damping, factor_decay)
-                    } else if use_eigen {
-                        state.precondition_eigen(grad, damping)
-                    } else {
-                        state.precondition_inverse(grad)
-                    }
-                })
-            } else {
-                Matrix::zeros(g_dim, a_dim)
-            };
+            let mut precond = self.precondition_local(i, grad, is_gw);
 
             if let Some(group) = asn.bcast_group_of(rank) {
                 let root = group[0];
@@ -452,22 +434,59 @@ impl Kfac {
                         * precision.bytes_per_element()
                         * (group.len() - 1)) as u64;
                 }
-                let group = group.clone();
-                self.times.time(Stage::GradComm, || {
-                    comm.broadcast_group(precond.as_mut_slice(), root, &group);
+                self.times.time_layer(i, Stage::GradComm, || {
+                    let pending =
+                        comm.begin_broadcast(precond.as_slice(), root, group, CommTag::GradComm);
+                    comm.complete(pending, precond.as_mut_slice());
                 });
             }
             preconditioned.push(precond);
         }
 
-        // Stage 4: KL-clip scaling (identical on every rank because both the
-        // gradients and the preconditioned gradients are replicated).
+        self.scale_and_write_back(layers, &grads, preconditioned, lr);
+    }
+
+    /// Precondition one layer's gradient locally (Eq. 15–17, EK-FAC, or the
+    /// direct-inverse fallback) — or return a zero receive buffer on
+    /// non-gradient-worker ranks. Shared by both executors.
+    pub(crate) fn precondition_local(&mut self, i: usize, grad: &Matrix, is_gw: bool) -> Matrix {
+        let (g_dim, a_dim) = (self.states[i].g_dim, self.states[i].a_dim);
+        if !is_gw {
+            return Matrix::zeros(g_dim, a_dim);
+        }
+        let damping = self.cfg.damping;
+        let use_eigen = self.cfg.use_eigen;
+        let ekfac = self.cfg.ekfac;
+        let factor_decay = self.cfg.factor_decay;
+        let state = &mut self.states[i];
+        self.times.time_layer(i, Stage::Precondition, || {
+            if ekfac {
+                state.precondition_ekfac(grad, damping, factor_decay)
+            } else if use_eigen {
+                state.precondition_eigen(grad, damping)
+            } else {
+                state.precondition_inverse(grad)
+            }
+        })
+    }
+
+    /// Stage 4: KL-clip scaling and write-back (identical on every rank
+    /// because both the gradients and the preconditioned gradients are
+    /// replicated). Runs in serial layer order on both executors so the
+    /// `Σ⟨p,g⟩` accumulation — and hence ν — is bitwise identical.
+    pub(crate) fn scale_and_write_back(
+        &mut self,
+        layers: &mut [&mut dyn kaisa_nn::KfacAble],
+        grads: &[Matrix],
+        preconditioned: Vec<Matrix>,
+        lr: f32,
+    ) {
         self.times.time(Stage::Scale, || {
             let nu = match self.cfg.kl_clip {
                 None => 1.0,
                 Some(clip) => {
                     let mut vg_sum = 0.0f64;
-                    for (p, g) in preconditioned.iter().zip(&grads) {
+                    for (p, g) in preconditioned.iter().zip(grads) {
                         vg_sum += (p.dot(g) * lr * lr) as f64;
                     }
                     if vg_sum > 0.0 {
@@ -487,47 +506,12 @@ impl Kfac {
     }
 }
 
-fn quantize_slice(buf: &mut [f32], precision: Precision) {
-    if precision.is_half() {
-        kaisa_tensor::f16::quantize_slice_f16(buf);
-    }
-}
-
-/// Broadcast a matrix within `group` from `root`, quantizing the payload at
-/// the storage precision. `local` is this rank's copy if it has one.
-#[allow(clippy::too_many_arguments)]
-fn bcast_matrix(
-    times: &mut StageTimes,
-    comm_bytes: &mut u64,
-    rank: usize,
-    comm: &dyn Communicator,
-    local: Option<Matrix>,
-    rows: usize,
-    cols: usize,
-    root: usize,
-    group: &[usize],
-    precision: Precision,
-) -> Matrix {
-    let mut m = local.unwrap_or_else(|| Matrix::zeros(rows, cols));
-    debug_assert_eq!(m.shape(), (rows, cols));
-    if rank == root {
-        m.quantize(precision);
-    }
-    times.time(Stage::EigComm, || {
-        comm.broadcast_group(m.as_mut_slice(), root, group);
-    });
-    if rank == root {
-        *comm_bytes += (rows * cols * precision.bytes_per_element() * (group.len() - 1)) as u64;
-    }
-    m
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use kaisa_comm::LocalComm;
     use kaisa_nn::models::Mlp;
-    use kaisa_tensor::Rng;
+    use kaisa_tensor::{Precision, Rng};
 
     fn toy_setup() -> (Mlp, Matrix, Vec<usize>, Rng) {
         let mut rng = Rng::seed_from_u64(211);
@@ -602,11 +586,8 @@ mod tests {
             .inv_update_freq(1)
             .kl_clip(Some(1e-6))
             .build();
-        let free_cfg = KfacConfig::builder()
-            .factor_update_freq(1)
-            .inv_update_freq(1)
-            .kl_clip(None)
-            .build();
+        let free_cfg =
+            KfacConfig::builder().factor_update_freq(1).inv_update_freq(1).kl_clip(None).build();
 
         let mut m1 = model.clone();
         let mut kfac1 = Kfac::new(clipped_cfg, &mut m1, &comm);

@@ -1,7 +1,70 @@
-//! Per-layer K-FAC state: running factors and cached eigendecompositions.
+//! Per-layer K-FAC state: running factors and cached eigendecompositions,
+//! plus the pure pack/unpack kernels the stage pipeline uses as task bodies.
 
-use kaisa_linalg::{spd_inverse, sym_eig};
+use kaisa_linalg::{pack_upper, packed_len, spd_inverse, sym_eig, unpack_upper};
 use kaisa_tensor::{Matrix, Precision};
+
+/// Quantize a payload to the storage precision in place (no-op at fp32).
+pub fn quantize_slice(buf: &mut [f32], precision: Precision) {
+    if precision.is_half() {
+        kaisa_tensor::f16::quantize_slice_f16(buf);
+    }
+}
+
+/// Pack both batch factors into one allreduce payload at the storage
+/// precision (the factor-allreduce *begin* task body). Returns the payload
+/// and the element index where the `G` section starts.
+pub fn pack_factor_payload(
+    a: &Matrix,
+    g: &Matrix,
+    triangular: bool,
+    precision: Precision,
+) -> (Vec<f32>, usize) {
+    let mut buf = if triangular {
+        // Section 4.3: send only the upper triangles, rebuild after.
+        let mut packed = pack_upper(a);
+        packed.extend_from_slice(&pack_upper(g));
+        packed
+    } else {
+        let mut flat = Vec::with_capacity(a.numel() + g.numel());
+        flat.extend_from_slice(a.as_slice());
+        flat.extend_from_slice(g.as_slice());
+        flat
+    };
+    let split = if triangular { packed_len(a.rows()) } else { a.numel() };
+    quantize_slice(&mut buf, precision);
+    (buf, split)
+}
+
+/// Rebuild the two factor matrices from an averaged payload (the
+/// factor-allreduce *complete* task body): re-quantize, then unpack.
+pub fn unpack_factor_payload(
+    buf: &mut [f32],
+    split: usize,
+    a_rows: usize,
+    g_rows: usize,
+    triangular: bool,
+    precision: Precision,
+) -> (Matrix, Matrix) {
+    quantize_slice(buf, precision);
+    if triangular {
+        (unpack_upper(&buf[..split], a_rows), unpack_upper(&buf[split..], g_rows))
+    } else {
+        (
+            Matrix::from_vec(a_rows, a_rows, buf[..split].to_vec()),
+            Matrix::from_vec(g_rows, g_rows, buf[split..].to_vec()),
+        )
+    }
+}
+
+/// Logical element count of the factor payload on the wire.
+pub fn factor_payload_len(a_rows: usize, g_rows: usize, triangular: bool) -> usize {
+    if triangular {
+        packed_len(a_rows) + packed_len(g_rows)
+    } else {
+        a_rows * a_rows + g_rows * g_rows
+    }
+}
 
 /// Running Kronecker-factor state and decomposition caches for one layer.
 ///
@@ -426,6 +489,27 @@ mod tests {
         for (s, v) in scale.as_slice().iter().zip(v1.as_slice()) {
             assert!((s - v * v).abs() < 0.05 * (v * v).max(0.05), "s={s} v2={}", v * v);
         }
+    }
+
+    #[test]
+    fn factor_payload_roundtrip_both_layouts() {
+        let mut rng = Rng::seed_from_u64(207);
+        let a = random_psd(5, &mut rng);
+        let g = random_psd(3, &mut rng);
+        for triangular in [false, true] {
+            let (mut buf, split) = pack_factor_payload(&a, &g, triangular, Precision::Fp32);
+            assert_eq!(buf.len(), factor_payload_len(5, 3, triangular));
+            let (a2, g2) =
+                unpack_factor_payload(&mut buf, split, 5, 3, triangular, Precision::Fp32);
+            assert_eq!(a.as_slice(), a2.as_slice(), "triangular={triangular}");
+            assert_eq!(g.as_slice(), g2.as_slice(), "triangular={triangular}");
+        }
+        // Half precision rounds the payload.
+        let (buf16, _) = pack_factor_payload(&a, &g, false, Precision::Fp16);
+        let mut expect = a.as_slice().to_vec();
+        expect.extend_from_slice(g.as_slice());
+        quantize_slice(&mut expect, Precision::Fp16);
+        assert_eq!(buf16, expect);
     }
 
     #[test]

@@ -18,7 +18,13 @@ pub struct GaussianBlobs {
 impl GaussianBlobs {
     /// Generate `samples` points across `classes` clusters with the given
     /// intra-cluster standard deviation (cluster centers have unit scale).
-    pub fn generate(samples: usize, features: usize, classes: usize, noise: f32, seed: u64) -> Self {
+    pub fn generate(
+        samples: usize,
+        features: usize,
+        classes: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
         let mut rng = Rng::seed_from_u64(seed);
         // Random unit-scale class centers.
         let centers = Matrix::randn(classes, features, 1.0, &mut rng);
@@ -100,7 +106,13 @@ pub struct SpiralDataset {
 impl SpiralDataset {
     /// Generate interleaved spirals. `features >= 2`; extra dimensions are
     /// random rotations of the base 2-D coordinates plus noise.
-    pub fn generate(samples: usize, features: usize, classes: usize, noise: f32, seed: u64) -> Self {
+    pub fn generate(
+        samples: usize,
+        features: usize,
+        classes: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
         assert!(features >= 2, "spiral needs at least 2 features");
         let mut rng = Rng::seed_from_u64(seed);
         // A random projection matrix lifting 2-D spirals to `features` dims.
@@ -200,18 +212,18 @@ mod tests {
         assert_eq!(x.shape(), (3, 8));
         assert_eq!(y, vec![0, 1, 2]);
         // Class balance.
-        let counts = (0..3)
-            .map(|c| (0..90).filter(|&i| ds.labels[i] == c).count())
-            .collect::<Vec<_>>();
+        let counts =
+            (0..3).map(|c| (0..90).filter(|&i| ds.labels[i] == c).count()).collect::<Vec<_>>();
         assert_eq!(counts, vec![30, 30, 30]);
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn blobs_are_separable_at_low_noise() {
         let ds = GaussianBlobs::generate(300, 4, 3, 0.05, 2);
         // Nearest-centroid classification should be nearly perfect.
         let mut centroids = vec![vec![0.0f32; 4]; 3];
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for i in 0..300 {
             let c = ds.labels[i];
             counts[c] += 1;

@@ -106,12 +106,7 @@ mod tests {
         // Noise-free images of different classes must differ substantially.
         let (x, y) = ds.batch(&[0, 1]);
         assert_ne!(y[0], y[1]);
-        let diff: f32 = x
-            .image(0)
-            .iter()
-            .zip(x.image(1))
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
+        let diff: f32 = x.image(0).iter().zip(x.image(1)).map(|(a, b)| (a - b).abs()).sum::<f32>()
             / x.image(0).len() as f32;
         assert!(diff > 0.1, "class textures too similar: {diff}");
     }

@@ -38,7 +38,13 @@ pub struct ShardSampler {
 impl ShardSampler {
     /// Create a sampler for `rank` of `world` with the given local batch
     /// size. The effective global batch size is `world * local_batch`.
-    pub fn new(dataset_len: usize, world: usize, rank: usize, local_batch: usize, seed: u64) -> Self {
+    pub fn new(
+        dataset_len: usize,
+        world: usize,
+        rank: usize,
+        local_batch: usize,
+        seed: u64,
+    ) -> Self {
         assert!(world > 0 && rank < world, "invalid rank {rank} of {world}");
         assert!(local_batch > 0, "local batch must be positive");
         ShardSampler { dataset_len, world, rank, local_batch, seed }
@@ -78,8 +84,7 @@ mod tests {
     #[test]
     fn shards_are_disjoint_and_cover() {
         let world = 4;
-        let samplers: Vec<_> =
-            (0..world).map(|r| ShardSampler::new(100, world, r, 5, 7)).collect();
+        let samplers: Vec<_> = (0..world).map(|r| ShardSampler::new(100, world, r, 5, 7)).collect();
         let mut seen = HashSet::new();
         for s in &samplers {
             for batch in s.epoch_batches(0) {

@@ -64,8 +64,7 @@ impl Dataset for BlobSegmentation {
         for (r, &idx) in indices.iter().enumerate() {
             x.as_mut_slice()[r * img_len..(r + 1) * img_len]
                 .copy_from_slice(self.images.image(idx));
-            y.as_mut_slice()[r * img_len..(r + 1) * img_len]
-                .copy_from_slice(self.masks.image(idx));
+            y.as_mut_slice()[r * img_len..(r + 1) * img_len].copy_from_slice(self.masks.image(idx));
         }
         (x, y)
     }

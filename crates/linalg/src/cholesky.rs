@@ -52,6 +52,7 @@ pub fn cholesky(m: &Matrix) -> Result<Matrix, CholeskyError> {
 }
 
 /// Solve `M x = b` for SPD `M` given its Cholesky factor `L`.
+#[allow(clippy::needless_range_loop)]
 pub fn cholesky_solve(l: &Matrix, b: &[f32]) -> Vec<f32> {
     let n = l.rows();
     assert_eq!(b.len(), n, "rhs length mismatch");
@@ -77,6 +78,7 @@ pub fn cholesky_solve(l: &Matrix, b: &[f32]) -> Vec<f32> {
 }
 
 /// Inverse of an SPD matrix via Cholesky (column-by-column solve).
+#[allow(clippy::needless_range_loop)]
 pub fn spd_inverse(m: &Matrix) -> Result<Matrix, CholeskyError> {
     let n = m.rows();
     let l = cholesky(m)?;

@@ -4,6 +4,7 @@ use kaisa_tensor::Matrix;
 
 /// Invert a general square matrix. Returns `None` if singular to working
 /// precision. Computation is in `f64`.
+#[allow(clippy::needless_range_loop)]
 pub fn lu_inverse(m: &Matrix) -> Option<Matrix> {
     assert!(m.is_square(), "lu_inverse requires a square matrix");
     let n = m.rows();

@@ -174,7 +174,10 @@ impl MultiHeadAttention {
 
     /// Total trainable parameters.
     pub fn param_count(&self) -> usize {
-        self.wq.param_count() + self.wk.param_count() + self.wv.param_count() + self.wo.param_count()
+        self.wq.param_count()
+            + self.wk.param_count()
+            + self.wv.param_count()
+            + self.wo.param_count()
     }
 }
 

@@ -218,8 +218,10 @@ mod tests {
     #[test]
     fn accumulate_matches_store_raw() {
         let mut rng = Rng::seed_from_u64(61);
-        let mut acc = KfacCapture { enabled: true, mode: CaptureMode::Accumulate, ..Default::default() };
-        let mut raw = KfacCapture { enabled: true, mode: CaptureMode::StoreRaw, ..Default::default() };
+        let mut acc =
+            KfacCapture { enabled: true, mode: CaptureMode::Accumulate, ..Default::default() };
+        let mut raw =
+            KfacCapture { enabled: true, mode: CaptureMode::StoreRaw, ..Default::default() };
         for _ in 0..3 {
             let a = Matrix::randn(8, 5, 1.0, &mut rng);
             let g = Matrix::randn(8, 4, 1.0, &mut rng);
@@ -240,7 +242,8 @@ mod tests {
     fn accumulate_memory_is_constant_in_microbatches() {
         let mut rng = Rng::seed_from_u64(62);
         let mut acc = KfacCapture { enabled: true, ..Default::default() };
-        let mut raw = KfacCapture { enabled: true, mode: CaptureMode::StoreRaw, ..Default::default() };
+        let mut raw =
+            KfacCapture { enabled: true, mode: CaptureMode::StoreRaw, ..Default::default() };
         let mut acc_sizes = Vec::new();
         let mut raw_sizes = Vec::new();
         for _ in 0..4 {

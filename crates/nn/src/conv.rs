@@ -35,6 +35,7 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Kaiming-initialized square convolution.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         c_in: usize,
@@ -189,6 +190,7 @@ impl KfacAble for Conv2d {
         &mut self.kfac
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn combined_grad(&self) -> Matrix {
         match &self.grad_bias {
             None => self.grad_weight.clone(),
@@ -204,6 +206,7 @@ impl KfacAble for Conv2d {
         }
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn set_combined_grad(&mut self, grad: &Matrix) {
         let (out, inp) = self.grad_weight.shape();
         assert_eq!(grad.rows(), out, "{}: combined grad rows", self.name);
@@ -245,9 +248,8 @@ mod tests {
         let mut conv = Conv2d::new("fd", 2, 3, 3, 1, 1, true, &mut rng);
         let x = Tensor4::randn(2, 2, 4, 4, 1.0, &mut rng);
 
-        let loss = |c: &mut Conv2d, x: &Tensor4| -> f32 {
-            c.forward(x, false).as_slice().iter().sum()
-        };
+        let loss =
+            |c: &mut Conv2d, x: &Tensor4| -> f32 { c.forward(x, false).as_slice().iter().sum() };
 
         conv.zero_grad();
         let y = conv.forward(&x, true);

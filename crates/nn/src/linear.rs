@@ -23,7 +23,13 @@ pub struct Linear {
 
 impl Linear {
     /// Xavier-initialized layer.
-    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, bias: bool, rng: &mut Rng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
         Linear {
             name: name.into(),
             weight: init::xavier_uniform(out_features, in_features, rng),
@@ -36,7 +42,13 @@ impl Linear {
     }
 
     /// Kaiming-initialized layer (for ReLU stacks).
-    pub fn new_kaiming(name: impl Into<String>, in_features: usize, out_features: usize, bias: bool, rng: &mut Rng) -> Self {
+    pub fn new_kaiming(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
         let mut l = Self::new(name, in_features, out_features, bias, rng);
         l.weight = init::kaiming_normal(out_features, in_features, rng);
         l
@@ -144,6 +156,7 @@ impl KfacAble for Linear {
         &mut self.kfac
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn combined_grad(&self) -> Matrix {
         match &self.grad_bias {
             None => self.grad_weight.clone(),
@@ -159,6 +172,7 @@ impl KfacAble for Linear {
         }
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn set_combined_grad(&mut self, grad: &Matrix) {
         let (out, inp) = self.grad_weight.shape();
         assert_eq!(grad.rows(), out, "{}: combined grad rows", self.name);

@@ -226,10 +226,7 @@ impl Model for BertMini {
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&str, ParamRef<'_>)) {
-        f(
-            "embedding",
-            ParamRef::Mat { w: &mut self.embedding, g: &mut self.grad_embedding },
-        );
+        f("embedding", ParamRef::Mat { w: &mut self.embedding, g: &mut self.grad_embedding });
         f(
             "pos_embedding",
             ParamRef::Mat { w: &mut self.pos_embedding, g: &mut self.grad_pos_embedding },
@@ -315,7 +312,8 @@ mod tests {
     #[test]
     fn gradcheck_spot_positions() {
         let mut rng = Rng::seed_from_u64(183);
-        let cfg = BertMiniConfig { vocab: 12, d_model: 8, heads: 2, layers: 1, ffn_dim: 16, max_seq: 8 };
+        let cfg =
+            BertMiniConfig { vocab: 12, d_model: 8, heads: 2, layers: 1, ffn_dim: 16, max_seq: 8 };
         let mut model = BertMini::new(cfg, &mut rng);
         let b = toy_batch(&mut rng, &cfg, 2, 4);
         model.zero_grad();
@@ -341,7 +339,8 @@ mod tests {
     #[test]
     fn training_reduces_masked_loss() {
         let mut rng = Rng::seed_from_u64(184);
-        let cfg = BertMiniConfig { vocab: 12, d_model: 16, heads: 2, layers: 1, ffn_dim: 32, max_seq: 8 };
+        let cfg =
+            BertMiniConfig { vocab: 12, d_model: 16, heads: 2, layers: 1, ffn_dim: 32, max_seq: 8 };
         let mut model = BertMini::new(cfg, &mut rng);
         let b = toy_batch(&mut rng, &cfg, 4, 8);
         let before = model.evaluate(&b, &()).loss;

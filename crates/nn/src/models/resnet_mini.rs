@@ -122,7 +122,13 @@ pub struct ResNetMiniConfig {
 
 impl Default for ResNetMiniConfig {
     fn default() -> Self {
-        ResNetMiniConfig { in_channels: 3, width: 8, blocks_stage1: 1, blocks_stage2: 1, classes: 10 }
+        ResNetMiniConfig {
+            in_channels: 3,
+            width: 8,
+            blocks_stage1: 1,
+            blocks_stage2: 1,
+            classes: 10,
+        }
     }
 }
 
@@ -253,7 +259,13 @@ mod tests {
     fn tiny() -> (ResNetMini, Rng) {
         let mut rng = Rng::seed_from_u64(161);
         let model = ResNetMini::new(
-            ResNetMiniConfig { in_channels: 3, width: 4, blocks_stage1: 1, blocks_stage2: 1, classes: 4 },
+            ResNetMiniConfig {
+                in_channels: 3,
+                width: 4,
+                blocks_stage1: 1,
+                blocks_stage2: 1,
+                classes: 4,
+            },
             &mut rng,
         );
         (model, rng)

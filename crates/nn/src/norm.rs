@@ -57,6 +57,7 @@ impl BatchNorm2d {
 
     /// Forward pass. In training mode uses batch statistics and updates the
     /// running averages; in eval mode uses the running statistics.
+    #[allow(clippy::needless_range_loop)]
     pub fn forward(&mut self, x: &Tensor4, train: bool) -> Tensor4 {
         let (n, c, h, w) = x.shape();
         assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
@@ -214,6 +215,7 @@ impl LayerNorm {
     }
 
     /// Forward pass.
+    #[allow(clippy::needless_range_loop)]
     pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         let (rows, d) = x.shape();
         assert_eq!(d, self.features(), "LayerNorm feature mismatch");
@@ -239,6 +241,7 @@ impl LayerNorm {
     }
 
     /// Backward pass.
+    #[allow(clippy::needless_range_loop)]
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let (x_hat, inv_stds) = self.cache.take().expect("LayerNorm backward without forward");
         let (rows, d) = grad_out.shape();

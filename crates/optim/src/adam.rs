@@ -23,7 +23,15 @@ pub struct Adam {
 impl Adam {
     /// Standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
     pub fn new() -> Self {
-        Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Set weight decay (builder style).

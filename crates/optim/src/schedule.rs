@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn step_decay_at_milestones() {
-        let s = LrSchedule::WarmupStep { lr: 0.8, warmup: 0, milestones: vec![100, 200], gamma: 0.1 };
+        let s =
+            LrSchedule::WarmupStep { lr: 0.8, warmup: 0, milestones: vec![100, 200], gamma: 0.1 };
         assert_eq!(s.lr_at(50), 0.8);
         assert!((s.lr_at(100) - 0.08).abs() < 1e-6);
         assert!((s.lr_at(250) - 0.008).abs() < 1e-6);

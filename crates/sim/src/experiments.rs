@@ -133,7 +133,7 @@ pub const FIG8_SCALES: [usize; 5] = [8, 16, 32, 64, 128];
 pub fn fig8() -> Vec<Fig8Row> {
     let mut rows = Vec::new();
     let strategies: [(&'static str, f64); 3] = [
-        ("MEM-OPT", 0.0),    // resolved per scale to 1/world
+        ("MEM-OPT", 0.0), // resolved per scale to 1/world
         ("HYBRID-OPT", 0.5),
         ("COMM-OPT", 1.0),
     ];
@@ -226,9 +226,8 @@ pub fn table5() -> Vec<Table5Row> {
             .memory_breakdown()
             .absolute() as f64
             / (1 << 20) as f64;
-        let max = Simulator::new(fig6_params(model.clone(), 1.0))
-            .memory_breakdown()
-            .absolute() as f64
+        let max = Simulator::new(fig6_params(model.clone(), 1.0)).memory_breakdown().absolute()
+            as f64
             / (1 << 20) as f64;
         rows.push(Table5Row {
             model: model.name,
@@ -291,8 +290,7 @@ pub fn table4() -> Vec<Table4Row> {
         ("KAISA frac=1/2 (HYBRID-OPT)", Some(0.5), 48.0),
     ];
     for (label, frac, epochs) in configs {
-        let mut params =
-            SimParams::baseline(ModelInventory::resnet50(), cluster, 1);
+        let mut params = SimParams::baseline(ModelInventory::resnet50(), cluster, 1);
         if let Some(frac) = frac {
             params = params.with_kfac(frac, 20, 200);
         }
@@ -378,11 +376,8 @@ mod tests {
         assert!(rn50.first().unwrap().kfac_overhead_mb < rn50.last().unwrap().kfac_overhead_mb);
         // Memory overhead is monotone in frac for every model.
         for model in ["ResNet-18", "ResNet-101", "ResNet-152", "Mask R-CNN", "BERT-Large"] {
-            let series: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.model == model)
-                .map(|r| r.kfac_overhead_mb)
-                .collect();
+            let series: Vec<f64> =
+                rows.iter().filter(|r| r.model == model).map(|r| r.kfac_overhead_mb).collect();
             for w in series.windows(2) {
                 assert!(w[0] <= w[1] + 1e-9, "{model} memory not monotone");
             }
@@ -393,10 +388,7 @@ mod tests {
     fn fig7_gradient_comm_tradeoff() {
         let rows = fig7();
         let at = |frac: f64, stage: &str| {
-            rows.iter()
-                .find(|r| (r.frac - frac).abs() < 1e-9 && r.stage == stage)
-                .unwrap()
-                .seconds
+            rows.iter().find(|r| (r.frac - frac).abs() < 1e-9 && r.stage == stage).unwrap().seconds
         };
         // Broadcast time decreases to zero as frac -> 1 (Figure 7's key
         // trend), while preconditioning time rises.

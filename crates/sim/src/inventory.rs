@@ -184,14 +184,32 @@ impl ModelInventory {
                     bn(c_out);
                     act_bytes += (2 * mid + c_out) * out_hw * out_hw * 4;
                 } else {
-                    layers.push(LayerShape::conv(format!("{prefix}.conv1"), c_in, c_out, 3, out_hw));
+                    layers.push(LayerShape::conv(
+                        format!("{prefix}.conv1"),
+                        c_in,
+                        c_out,
+                        3,
+                        out_hw,
+                    ));
                     bn(c_out);
-                    layers.push(LayerShape::conv(format!("{prefix}.conv2"), c_out, c_out, 3, out_hw));
+                    layers.push(LayerShape::conv(
+                        format!("{prefix}.conv2"),
+                        c_out,
+                        c_out,
+                        3,
+                        out_hw,
+                    ));
                     bn(c_out);
                     act_bytes += 2 * c_out * out_hw * out_hw * 4;
                 }
                 if b == 0 && (c_in != c_out) {
-                    layers.push(LayerShape::conv(format!("{prefix}.downsample"), c_in, c_out, 1, out_hw));
+                    layers.push(LayerShape::conv(
+                        format!("{prefix}.downsample"),
+                        c_in,
+                        c_out,
+                        1,
+                        out_hw,
+                    ));
                     bn(c_out);
                 }
                 c_in = c_out;
@@ -346,29 +364,31 @@ impl ModelInventory {
         let w = 32usize;
         let mut layers = Vec::new();
         let mut act_bytes = 0usize;
-        let mut enc = |name: &str, c_in: usize, c_out: usize, hw: usize, layers: &mut Vec<LayerShape>| {
-            layers.push(LayerShape::conv(format!("{name}a"), c_in, c_out, 3, hw));
-            layers.push(LayerShape::conv(format!("{name}b"), c_out, c_out, 3, hw));
-            act_bytes += 2 * c_out * hw * hw * 4;
-        };
+        let mut enc =
+            |name: &str, c_in: usize, c_out: usize, hw: usize, layers: &mut Vec<LayerShape>| {
+                layers.push(LayerShape::conv(format!("{name}a"), c_in, c_out, 3, hw));
+                layers.push(LayerShape::conv(format!("{name}b"), c_out, c_out, 3, hw));
+                act_bytes += 2 * c_out * hw * hw * 4;
+            };
         enc("enc1", 3, w, 256, &mut layers);
         enc("enc2", w, 2 * w, 128, &mut layers);
         enc("enc3", 2 * w, 4 * w, 64, &mut layers);
         enc("enc4", 4 * w, 8 * w, 32, &mut layers);
         enc("bottleneck", 8 * w, 16 * w, 16, &mut layers);
         // Decoder: upconv (2x2) then two convs on the concatenated features.
-        let mut dec = |name: &str, c_high: usize, c_skip: usize, hw: usize, layers: &mut Vec<LayerShape>| {
-            layers.push(LayerShape {
-                name: format!("{name}.upconv"),
-                a_dim: c_high * 4,
-                g_dim: c_skip,
-                spatial: hw * hw,
-                params: c_high * 4 * c_skip,
-            });
-            layers.push(LayerShape::conv(format!("{name}a"), c_skip * 2, c_skip, 3, hw));
-            layers.push(LayerShape::conv(format!("{name}b"), c_skip, c_skip, 3, hw));
-            act_bytes += 3 * c_skip * hw * hw * 4;
-        };
+        let mut dec =
+            |name: &str, c_high: usize, c_skip: usize, hw: usize, layers: &mut Vec<LayerShape>| {
+                layers.push(LayerShape {
+                    name: format!("{name}.upconv"),
+                    a_dim: c_high * 4,
+                    g_dim: c_skip,
+                    spatial: hw * hw,
+                    params: c_high * 4 * c_skip,
+                });
+                layers.push(LayerShape::conv(format!("{name}a"), c_skip * 2, c_skip, 3, hw));
+                layers.push(LayerShape::conv(format!("{name}b"), c_skip, c_skip, 3, hw));
+                act_bytes += 3 * c_skip * hw * hw * 4;
+            };
         dec("dec4", 16 * w, 8 * w, 32, &mut layers);
         dec("dec3", 8 * w, 4 * w, 64, &mut layers);
         dec("dec2", 4 * w, 2 * w, 128, &mut layers);
@@ -394,10 +414,7 @@ mod tests {
         // Torchvision ResNet-50: 25.56M parameters.
         let inv = ModelInventory::resnet50();
         let total = inv.total_params();
-        assert!(
-            (24_000_000..27_000_000).contains(&total),
-            "ResNet-50 params {total} out of range"
-        );
+        assert!((24_000_000..27_000_000).contains(&total), "ResNet-50 params {total} out of range");
         // 53 preconditionable conv layers + 1 fc.
         assert_eq!(inv.layers.len(), 54);
     }
@@ -433,10 +450,7 @@ mod tests {
         // 3.8 GB (max, fp16). Min ≈ factors only; max adds eig caches.
         let inv = ModelInventory::bert_large(512);
         let factors_fp16 = inv.all_factor_bytes(2) as f64 / (1 << 20) as f64;
-        assert!(
-            (700.0..2500.0).contains(&factors_fp16),
-            "BERT fp16 factor MB = {factors_fp16}"
-        );
+        assert!((700.0..2500.0).contains(&factors_fp16), "BERT fp16 factor MB = {factors_fp16}");
     }
 
     #[test]
@@ -469,13 +483,8 @@ mod tests {
         // fc1's A factor (25089²) dwarfs every other factor — the worst-case
         // single eigendecomposition job the LPT scheduler can face.
         let fc1 = inv.layers.iter().find(|l| l.name == "fc1").unwrap();
-        let biggest_other = inv
-            .layers
-            .iter()
-            .filter(|l| l.name != "fc1")
-            .map(|l| l.factor_bytes(4))
-            .max()
-            .unwrap();
+        let biggest_other =
+            inv.layers.iter().filter(|l| l.name != "fc1").map(|l| l.factor_bytes(4)).max().unwrap();
         assert!(fc1.factor_bytes(4) > 10 * biggest_other);
     }
 

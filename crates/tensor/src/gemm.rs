@@ -1,23 +1,38 @@
-//! Blocked, Rayon-parallel GEMM kernels.
+//! Blocked, thread-parallel GEMM kernels.
 //!
 //! Three variants are provided: `C = A·B`, `C = Aᵀ·B`, and `C = A·Bᵀ`, all
 //! row-major. The K-FAC hot paths are `Aᵀ·B` (factor statistics `aᵀa`, `gᵀg`)
 //! and plain products (preconditioning `Qᵀ·∇L·Q`), so those avoid
 //! materializing transposes.
 //!
-//! Parallelization follows the Rayon guidance from the HPC guides: split `C`
-//! into independent row bands with `par_chunks_mut`, which is data-race free
-//! by construction. Small problems stay serial to avoid fork/join overhead.
-
-use rayon::prelude::*;
+//! Parallelization splits `C` into independent row bands, each handed to one
+//! scoped thread via `chunks_mut` — data-race free by construction. Small
+//! problems stay serial to avoid thread-spawn overhead.
 
 /// Below this many multiply-adds the serial kernel wins.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
-/// Rows of `C` handed to each Rayon task.
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Rows of `C` handed to each worker thread.
 fn row_band(m: usize) -> usize {
-    let threads = rayon::current_num_threads().max(1);
-    (m / (threads * 4)).max(4)
+    (m / (num_threads() * 4)).max(4)
+}
+
+/// Run `kernel(band_index, c_band)` for each `band * n`-element chunk of `c`
+/// on scoped worker threads.
+fn par_row_bands<F>(c: &mut [f32], band: usize, n: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    std::thread::scope(|scope| {
+        for (band_idx, c_band) in c.chunks_mut(band * n).enumerate() {
+            let kernel = &kernel;
+            scope.spawn(move || kernel(band_idx, c_band));
+        }
+    });
 }
 
 /// `C[m x n] = A[m x k] · B[k x n]`, all row-major. `c` must be zeroed by the
@@ -28,7 +43,7 @@ pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     debug_assert_eq!(c.len(), m * n);
     if m * n * k >= PAR_THRESHOLD && m > 1 {
         let band = row_band(m);
-        c.par_chunks_mut(band * n).enumerate().for_each(|(band_idx, c_band)| {
+        par_row_bands(c, band, n, |band_idx, c_band| {
             let r0 = band_idx * band;
             let rows = c_band.len() / n;
             gemm_nn_serial(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_band);
@@ -65,7 +80,7 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     debug_assert_eq!(c.len(), m * n);
     if m * n * k >= PAR_THRESHOLD && m > 1 {
         let band = row_band(m);
-        c.par_chunks_mut(band * n).enumerate().for_each(|(band_idx, c_band)| {
+        par_row_bands(c, band, n, |band_idx, c_band| {
             let r0 = band_idx * band;
             let rows = c_band.len() / n;
             gemm_tn_serial_range(r0, rows, m, k, n, a, b, c_band);
@@ -75,6 +90,7 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemm_tn_serial_range(
     r0: usize,
     rows: usize,
@@ -110,7 +126,7 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     debug_assert_eq!(c.len(), m * n);
     if m * n * k >= PAR_THRESHOLD && m > 1 {
         let band = row_band(m);
-        c.par_chunks_mut(band * n).enumerate().for_each(|(band_idx, c_band)| {
+        par_row_bands(c, band, n, |band_idx, c_band| {
             let r0 = band_idx * band;
             let rows = c_band.len() / n;
             gemm_nt_serial(rows, k, n, &a[r0 * k..(r0 + rows) * k], b, c_band);
@@ -209,5 +225,19 @@ mod tests {
         let mut c = vec![1.0, 1.0, 1.0, 1.0];
         gemm_nn(2, 2, 2, &a, &b, &mut c);
         assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn parallel_band_split_matches_serial() {
+        // Large enough to cross PAR_THRESHOLD so the banded path runs.
+        let mut rng = Rng::seed_from_u64(4);
+        let (m, k, n) = (96, 80, 72);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let mut c_par = vec![0.0; m * n];
+        gemm_nn(m, k, n, a.as_slice(), b.as_slice(), &mut c_par);
+        let mut c_serial = vec![0.0; m * n];
+        gemm_nn_serial(m, k, n, a.as_slice(), b.as_slice(), &mut c_serial);
+        assert_eq!(c_par, c_serial);
     }
 }

@@ -62,11 +62,12 @@ pub fn im2col(input: &Tensor4, geom: &Conv2dGeom) -> Matrix {
                         let iy = (oy * geom.sh + ky) as isize - geom.ph as isize;
                         for kx in 0..geom.kw {
                             let ix = (ox * geom.sw + kx) as isize - geom.pw as isize;
-                            row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                input.get(img, ch, iy as usize, ix as usize)
-                            } else {
-                                0.0
-                            };
+                            row[col] =
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    input.get(img, ch, iy as usize, ix as usize)
+                                } else {
+                                    0.0
+                                };
                             col += 1;
                         }
                     }
@@ -182,7 +183,7 @@ mod tests {
                                 for kx in 0..3 {
                                     let iy = oy as isize + ky as isize - 1;
                                     let ix = ox as isize + kx as isize - 1;
-                                    if iy >= 0 && iy < 5 && ix >= 0 && ix < 5 {
+                                    if (0..5).contains(&iy) && (0..5).contains(&ix) {
                                         acc += x.get(img, ci, iy as usize, ix as usize)
                                             * wmat.get(co, wi);
                                     }
@@ -209,12 +210,7 @@ mod tests {
         let p = Matrix::randn(px.rows(), px.cols(), 1.0, &mut rng);
         let lhs = px.dot(&p);
         let back = col2im(&p, 2, 2, 4, 4, &g);
-        let rhs: f32 = x
-            .as_slice()
-            .iter()
-            .zip(back.as_slice())
-            .map(|(a, b)| a * b)
-            .sum();
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
     }
 }

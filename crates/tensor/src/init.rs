@@ -43,8 +43,7 @@ mod tests {
         let fan_in = 256;
         let w = kaiming_normal(256, fan_in, &mut rng);
         let mean = w.mean();
-        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / w.numel() as f32;
+        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.numel() as f32;
         let expected = 2.0 / fan_in as f32;
         assert!((var - expected).abs() / expected < 0.1, "var={var} expected={expected}");
     }

@@ -179,14 +179,7 @@ impl Matrix {
             )));
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        gemm::gemm_nn(
-            self.rows,
-            self.cols,
-            other.cols,
-            &self.data,
-            &other.data,
-            &mut out.data,
-        );
+        gemm::gemm_nn(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
         Ok(out)
     }
 
@@ -198,14 +191,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        gemm::gemm_tn(
-            self.cols,
-            self.rows,
-            other.cols,
-            &self.data,
-            &other.data,
-            &mut out.data,
-        );
+        gemm::gemm_tn(self.cols, self.rows, other.cols, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -217,14 +203,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        gemm::gemm_nt(
-            self.rows,
-            self.cols,
-            other.rows,
-            &self.data,
-            &other.data,
-            &mut out.data,
-        );
+        gemm::gemm_nt(self.rows, self.cols, other.rows, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -348,11 +327,8 @@ impl Matrix {
     /// Dot product treating both matrices as flat vectors.
     pub fn dot(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "dot shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum::<f64>() as f32
+        self.data.iter().zip(&other.data).map(|(a, b)| (*a as f64) * (*b as f64)).sum::<f64>()
+            as f32
     }
 
     /// Outer product `col_vec @ row_vecᵀ` of two vectors.
@@ -378,10 +354,7 @@ impl Matrix {
     /// Maximum absolute difference from `other`.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// True if all elements are finite.

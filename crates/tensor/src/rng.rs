@@ -26,12 +26,8 @@ impl Rng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { state, spare_normal: None }
     }
 

@@ -138,15 +138,14 @@ impl Tensor4 {
     }
 
     /// Per-channel mean over batch and spatial dims.
+    #[allow(clippy::needless_range_loop)]
     pub fn channel_means(&self) -> Vec<f32> {
         let mut means = vec![0.0f64; self.c];
         for n in 0..self.n {
             for c in 0..self.c {
                 let base = (n * self.c + c) * self.h * self.w;
-                let s: f64 = self.data[base..base + self.h * self.w]
-                    .iter()
-                    .map(|&v| v as f64)
-                    .sum();
+                let s: f64 =
+                    self.data[base..base + self.h * self.w].iter().map(|&v| v as f64).sum();
                 means[c] += s;
             }
         }

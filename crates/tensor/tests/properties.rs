@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor kernels: algebraic identities that
 //! must hold for arbitrary shapes and values.
 
-use kaisa_tensor::{f16, F16, Matrix, Rng};
+use kaisa_tensor::{f16, Matrix, Rng, F16};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {

@@ -1,6 +1,6 @@
 //! Data-parallel gradient synchronization.
 
-use kaisa_comm::{Communicator, ReduceOp};
+use kaisa_comm::{CommTag, Communicator, ReduceOp};
 use kaisa_nn::Model;
 
 /// Average the model's gradients across all ranks, optionally pre-scaling by
@@ -19,7 +19,9 @@ pub fn allreduce_gradients<M: Model>(model: &mut M, comm: &dyn Communicator, acc
         }
     }
     if comm.world_size() > 1 {
-        comm.allreduce(&mut grads, ReduceOp::Avg);
+        let world_group: Vec<usize> = (0..comm.world_size()).collect();
+        let pending = comm.begin_allreduce(&grads, ReduceOp::Avg, &world_group, CommTag::Ddp);
+        comm.complete(pending, &mut grads);
     }
     model.set_grads_flat(&grads);
 }

@@ -98,13 +98,8 @@ where
 {
     let world = comm.world_size();
     let rank = comm.rank();
-    let sampler = ShardSampler::new(
-        train_set.len(),
-        world,
-        rank,
-        cfg.local_batch * cfg.grad_accum,
-        cfg.seed,
-    );
+    let sampler =
+        ShardSampler::new(train_set.len(), world, rank, cfg.local_batch * cfg.grad_accum, cfg.seed);
     let mut kfac = cfg.kfac.clone().map(|kc| Kfac::new(kc, &mut model, comm));
 
     let mut result = TrainResult::default();
@@ -173,11 +168,8 @@ where
 
     result.total_seconds = start.elapsed().as_secs_f64();
     result.iterations = iterations;
-    result.avg_iteration_seconds = if iterations > 0 {
-        result.total_seconds / iterations as f64
-    } else {
-        0.0
-    };
+    result.avg_iteration_seconds =
+        if iterations > 0 { result.total_seconds / iterations as f64 } else { 0.0 };
     if let Some(kfac) = &kfac {
         result.kfac_memory_bytes = kfac.memory_bytes();
         result.kfac_comm_bytes = kfac.comm_bytes();

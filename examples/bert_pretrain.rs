@@ -78,8 +78,12 @@ fn main() {
             );
         }
         match result.iterations_to_metric(target) {
-            Some(iters) => println!("  reached {target:.2} masked accuracy after {iters} iterations\n"),
-            None => println!("  did not reach {target:.2} within {} iterations\n", result.iterations),
+            Some(iters) => {
+                println!("  reached {target:.2} masked accuracy after {iters} iterations\n")
+            }
+            None => {
+                println!("  did not reach {target:.2} within {} iterations\n", result.iterations)
+            }
         }
     }
 }

@@ -29,7 +29,10 @@ fn main() {
         classes: 4,
     };
 
-    println!("{:<22} {:>10} {:>12} {:>14} {:>12}", "strategy", "epochs", "val acc", "K-FAC mem", "comm bytes");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>12}",
+        "strategy", "epochs", "val acc", "K-FAC mem", "comm bytes"
+    );
     for (label, frac) in [
         ("baseline SGD", None),
         ("MEM-OPT (1/4)", Some(0.25)),

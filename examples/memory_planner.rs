@@ -25,7 +25,9 @@ fn main() {
         "unet" => ModelInventory::unet(),
         "vgg16" => ModelInventory::vgg16(),
         other => {
-            eprintln!("unknown model '{other}' (try resnet18/50/101/152, vgg16, maskrcnn, bert, unet)");
+            eprintln!(
+                "unknown model '{other}' (try resnet18/50/101/152, vgg16, maskrcnn, bert, unet)"
+            );
             std::process::exit(1);
         }
     };

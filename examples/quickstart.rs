@@ -50,11 +50,7 @@ fn main() {
     let mut model = Mlp::new(&[16, 32, 4], &mut Rng::seed_from_u64(1));
     let mut opt = Sgd::with_momentum(0.9);
     let mut kfac = Kfac::new(
-        KfacConfig::builder()
-            .damping(0.003)
-            .factor_update_freq(5)
-            .inv_update_freq(25)
-            .build(),
+        KfacConfig::builder().damping(0.003).factor_update_freq(5).inv_update_freq(25).build(),
         &mut model,
         &comm,
     );

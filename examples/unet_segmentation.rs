@@ -53,16 +53,15 @@ fn main() {
         );
         println!("== {label} ==");
         for e in &result.epochs {
-            println!(
-                "  epoch {:>2}: loss={:.4}  val DSC={:.3}",
-                e.epoch, e.val_loss, e.val_metric
-            );
+            println!("  epoch {:>2}: loss={:.4}  val DSC={:.3}", e.epoch, e.val_loss, e.val_metric);
         }
         match result.converged {
-            Some((epoch, secs)) => println!(
-                "  reached {target_dsc} DSC at epoch {epoch} ({secs:.1}s wall)\n"
-            ),
-            None => println!("  did not reach {target_dsc} DSC in {} epochs\n", result.epochs.len()),
+            Some((epoch, secs)) => {
+                println!("  reached {target_dsc} DSC at epoch {epoch} ({secs:.1}s wall)\n")
+            }
+            None => {
+                println!("  did not reach {target_dsc} DSC in {} epochs\n", result.epochs.len())
+            }
         }
     }
 }

@@ -4,9 +4,7 @@
 //! masked-language tasks.
 
 use kaisa::core::KfacConfig;
-use kaisa::data::{
-    BlobSegmentation, Dataset, GaussianBlobs, MaskedTokenTask, PatternImages, SequenceRules,
-};
+use kaisa::data::{BlobSegmentation, GaussianBlobs, MaskedTokenTask, PatternImages, SequenceRules};
 use kaisa::nn::models::{
     BertMini, BertMiniConfig, Mlp, ResNetMini, ResNetMiniConfig, RoiHeadMini, RoiTargets,
 };

@@ -23,9 +23,7 @@ fn world_sizes_converge_equally_with_kfac() {
             epochs: 6,
             local_batch,
             schedule: LrSchedule::Constant { lr: 0.15 },
-            kfac: Some(
-                KfacConfig::builder().factor_update_freq(2).inv_update_freq(4).build(),
-            ),
+            kfac: Some(KfacConfig::builder().factor_update_freq(2).inv_update_freq(4).build()),
             seed: 7,
             ..Default::default()
         };
@@ -64,10 +62,7 @@ fn identical_batches_give_identical_models_across_world_sizes() {
         let mut results = ThreadComm::run(world, move |comm| {
             let mut model = Mlp::new(&[6, 8, 3], &mut Rng::seed_from_u64(12));
             let mut opt = Sgd::new();
-            let cfg = KfacConfig::builder()
-                .factor_update_freq(1)
-                .inv_update_freq(2)
-                .build();
+            let cfg = KfacConfig::builder().factor_update_freq(1).inv_update_freq(2).build();
             let mut kfac = kaisa::core::Kfac::new(cfg, &mut model, comm);
             // Rank r takes rows [r*16/world, (r+1)*16/world).
             let shard = 16 / world;

@@ -3,9 +3,7 @@
 //! and failure-injection cases.
 
 use kaisa::comm::{LocalComm, ThreadComm};
-use kaisa::core::{
-    plan_assignments, AssignmentStrategy, Kfac, KfacConfig,
-};
+use kaisa::core::{plan_assignments, AssignmentStrategy, Kfac, KfacConfig};
 use kaisa::nn::models::Mlp;
 use kaisa::nn::Model;
 use kaisa::tensor::{Matrix, Precision, Rng};
@@ -77,11 +75,7 @@ fn fp16_stays_close_to_fp32() {
     let g32 = run_world(base.clone().precision(Precision::Fp32).build(), 3);
     let g16 = run_world(base.precision(Precision::Fp16).build(), 3);
     let scale = g32.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-    let diff = g32
-        .iter()
-        .zip(&g16)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let diff = g32.iter().zip(&g16).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(diff / scale < 0.05, "fp16 deviates {diff} (scale {scale})");
 }
 
@@ -124,11 +118,8 @@ fn assignment_strategies_all_precondition_identically() {
 
 #[test]
 fn inverse_fallback_runs_distributed() {
-    let cfg = KfacConfig::builder()
-        .factor_update_freq(1)
-        .inv_update_freq(2)
-        .use_eigen(false)
-        .build();
+    let cfg =
+        KfacConfig::builder().factor_update_freq(1).inv_update_freq(2).use_eigen(false).build();
     let grads = run_world(cfg, 3);
     assert!(grads.iter().all(|g| g.is_finite()));
 }
@@ -260,11 +251,7 @@ fn ekfac_runs_distributed_and_converges() {
         for (b2, a2, params) in results {
             assert_eq!(before, b2);
             assert_eq!(after, a2);
-            let d = params0
-                .iter()
-                .zip(&params)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0f32, f32::max);
+            let d = params0.iter().zip(&params).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
             assert!(d < 1e-6, "frac {frac}: ranks diverged by {d}");
         }
     }
@@ -273,18 +260,11 @@ fn ekfac_runs_distributed_and_converges() {
 #[test]
 fn ekfac_differs_from_kfac_after_warmup() {
     let cfg_kfac = KfacConfig::builder().factor_update_freq(1).inv_update_freq(4).build();
-    let cfg_ekfac = KfacConfig::builder()
-        .factor_update_freq(1)
-        .inv_update_freq(4)
-        .ekfac(true)
-        .build();
+    let cfg_ekfac =
+        KfacConfig::builder().factor_update_freq(1).inv_update_freq(4).ekfac(true).build();
     let g_kfac = run_world(cfg_kfac, 6);
     let g_ekfac = run_world(cfg_ekfac, 6);
-    let diff = g_kfac
-        .iter()
-        .zip(&g_ekfac)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let diff = g_kfac.iter().zip(&g_ekfac).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(diff > 1e-6, "EK-FAC must depart from K-FAC after correction steps");
     assert!(g_ekfac.iter().all(|g| g.is_finite()));
 }

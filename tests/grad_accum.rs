@@ -73,7 +73,8 @@ fn accumulate_mode_memory_constant_store_raw_linear() {
         let xc = x.rows_slice(lo, lo + 8);
         let yc = y[lo..lo + 8].to_vec();
         let _ = model.forward_backward(&xc, &yc);
-        let total: usize = model.kfac_layers().iter_mut().map(|l| l.capture_mut().memory_bytes()).sum();
+        let total: usize =
+            model.kfac_layers().iter_mut().map(|l| l.capture_mut().memory_bytes()).sum();
         acc_sizes.push(total);
     }
     assert_eq!(acc_sizes[0], acc_sizes[3], "KAISA capture memory must not grow: {acc_sizes:?}");
@@ -90,7 +91,8 @@ fn accumulate_mode_memory_constant_store_raw_linear() {
         let xc = x.rows_slice(lo, lo + 8);
         let yc = y[lo..lo + 8].to_vec();
         let _ = model.forward_backward(&xc, &yc);
-        let total: usize = model.kfac_layers().iter_mut().map(|l| l.capture_mut().memory_bytes()).sum();
+        let total: usize =
+            model.kfac_layers().iter_mut().map(|l| l.capture_mut().memory_bytes()).sum();
         raw_sizes.push(total);
     }
     assert_eq!(raw_sizes[3], 4 * raw_sizes[0], "store-raw must grow linearly: {raw_sizes:?}");

@@ -1,0 +1,222 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The real criterion cannot be fetched in this build environment (no
+//! crates.io access), so this vendored crate implements the API surface the
+//! workspace's `[[bench]]` targets use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `b.iter(..)`, [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Differences from the real crate, by design: no statistical analysis,
+//! no HTML reports, no baseline comparison. Each benchmark runs a short
+//! warmup, then timed batches until a ~200 ms budget is spent, and prints
+//! the mean iteration time (plus throughput when configured).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 2;
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Iteration driver handed to benchmark closures as `b`.
+pub struct Bencher {
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn human_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_nanos: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:.2} Melem/s", n as f64 / mean_nanos * 1_000.0)
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:.2} MiB/s", n as f64 / mean_nanos * 1e9 / (1024.0 * 1024.0))
+        }
+    });
+    println!("{name:<48} {:>12}{}", human_nanos(mean_nanos), rate.unwrap_or_default());
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budget based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F, I>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean_nanos, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<F, I, T>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean_nanos, self.throughput);
+        self
+    }
+
+    /// End the group (marker only; reports print as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _criterion: self }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b);
+        report(name, b.mean_nanos, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; accept and ignore them.
+            let _ = ::std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sample");
+        group.sample_size(10).throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("gemm", 128).to_string(), "gemm/128");
+        assert_eq!(BenchmarkId::from_parameter("fp16").to_string(), "fp16");
+    }
+}
