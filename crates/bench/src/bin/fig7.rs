@@ -12,7 +12,8 @@ use kaisa_comm::{
     ClusterNetwork, CollectiveCostModel, CommTag, Communicator, MeterSnapshot, ThreadComm,
 };
 use kaisa_core::{
-    plan_assignments, AssignmentStrategy, ComputeRates, Kfac, KfacConfig, StepModel, KFAC_STAGES,
+    plan_assignments, priority_sweep_order, AssignmentStrategy, ComputeRates, Kfac, KfacConfig,
+    StepModel, StepModelOptions, KFAC_STAGES,
 };
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
@@ -59,7 +60,7 @@ struct LiveRun {
     meter: MeterSnapshot,
 }
 
-fn run_live(world: usize, frac: f64, pipelined: bool) -> LiveRun {
+fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool) -> LiveRun {
     let dataset = GaussianBlobs::generate(512, 32, 4, 0.4, 130);
     let mut results = ThreadComm::run(world, |comm| {
         let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
@@ -68,6 +69,7 @@ fn run_live(world: usize, frac: f64, pipelined: bool) -> LiveRun {
             .factor_update_freq(5)
             .inv_update_freq(10)
             .pipelined(pipelined)
+            .sharded_factors(sharded)
             .build();
         let mut kfac = Kfac::new(cfg, &mut model, comm);
         let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
@@ -104,8 +106,8 @@ fn live() {
         vec![vec!["serial".to_string()], vec!["pipelined".to_string()]];
     let mut sample: Option<LiveRun> = None;
     for &frac in &fracs {
-        let serial = run_live(world, frac, false);
-        let pipelined = run_live(world, frac, true);
+        let serial = run_live(world, frac, false, false);
+        let pipelined = run_live(world, frac, true, false);
         for (row, avg) in stage_table.iter_mut().zip(pipelined.averages) {
             row.push(format!("{:.3}", avg * 1e3));
         }
@@ -131,31 +133,24 @@ fn live() {
         println!("== Per-layer stage breakdown (frac 0.5, pipelined), ms per step ==\n");
         println!("{}", run.layer_report);
         println!("== Metered K-FAC traffic by issuing stage (frac 0.5, world total) ==\n");
-        let rows: Vec<Vec<String>> = [
-            CommTag::Ddp,
-            CommTag::FactorComm,
-            CommTag::EigComm,
-            CommTag::GradComm,
-            CommTag::Untagged,
-        ]
-        .iter()
-        .map(|&tag| {
-            vec![
-                format!("{tag:?}"),
-                format!("{}", run.meter.tag_calls(tag)),
-                format!("{}", run.meter.tag_bytes(tag)),
-            ]
-        })
-        .collect();
+        let rows: Vec<Vec<String>> = CommTag::ALL
+            .iter()
+            .map(|&tag| {
+                vec![
+                    format!("{tag:?}"),
+                    format!("{}", run.meter.tag_calls(tag)),
+                    format!("{}", run.meter.tag_bytes(tag)),
+                ]
+            })
+            .collect();
         println!("{}", render_table(&["stage tag", "collectives", "bytes"], &rows));
     }
 }
 
-fn cost_model() {
-    println!("== α–β cost model: serial vs pipelined step makespan (world 8) ==\n");
-    // ResNetMini-shaped factor dims (width 32, 2+2 blocks): the acceptance
-    // configuration for the overlap win on a comm-bound network.
-    let dims: Vec<(usize, usize)> = vec![
+/// ResNetMini-shaped factor dims (width 32, 2+2 blocks): the acceptance
+/// configuration for the overlap win on a comm-bound network.
+fn resnet_mini_dims() -> Vec<(usize, usize)> {
+    vec![
         (27, 32),
         (288, 32),
         (288, 32),
@@ -167,7 +162,12 @@ fn cost_model() {
         (576, 64),
         (576, 64),
         (65, 10),
-    ];
+    ]
+}
+
+fn cost_model() {
+    println!("== α–β cost model: serial vs pipelined step makespan (world 8) ==\n");
+    let dims = resnet_mini_dims();
     let world = 8;
     let mut rows = Vec::new();
     for frac in [1.0 / world as f64, 0.5, 1.0] {
@@ -193,9 +193,73 @@ fn cost_model() {
     );
 }
 
+fn sharded() {
+    println!("== Sharded factor reduction: reduce-scatter vs dense allreduce (frac 0.5) ==\n");
+    // Live metered factor traffic over the whole run (world totals; the
+    // meter is shared across thread ranks).
+    let mut rows = Vec::new();
+    for world in [4usize, 8] {
+        let dense = run_live(world, 0.5, true, false);
+        let shard = run_live(world, 0.5, true, true);
+        let dense_bytes = dense.meter.tag_bytes(CommTag::FactorComm);
+        let shard_bytes = shard.meter.tag_bytes(CommTag::FactorReduce)
+            + shard.meter.tag_bytes(CommTag::FactorGather);
+        let steps = dense.steps.max(1);
+        rows.push(vec![
+            format!("{world}"),
+            format!("{:.0}", dense_bytes as f64 / steps as f64),
+            format!("{:.0}", shard_bytes as f64 / steps as f64),
+            format!("{:.1}%", 100.0 * (1.0 - shard_bytes as f64 / dense_bytes.max(1) as f64)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["world", "dense factor B/step", "sharded factor B/step", "saved"], &rows)
+    );
+
+    // Modeled pipelined makespans on the ResNetMini dims, with and without
+    // the priority-searched sweep order.
+    let dims = resnet_mini_dims();
+    let rates = ComputeRates::default();
+    let mut rows = Vec::new();
+    for world in [4usize, 8] {
+        let plan = plan_assignments(&dims, world, 0.5, AssignmentStrategy::ComputeLpt);
+        for (name, net) in [
+            ("10GbE", ClusterNetwork::ethernet_10g()),
+            ("IB-EDR", ClusterNetwork::infiniband_edr()),
+        ] {
+            let cost = CollectiveCostModel::new(net);
+            let dense_opts = StepModelOptions::dense(4, false);
+            let shard_opts = StepModelOptions { sharded: true, ..dense_opts };
+            let ms = |opts: StepModelOptions<'_>| {
+                StepModel::with_options(&dims, &plan, &cost, &rates, opts).pipelined_seconds() * 1e3
+            };
+            let dense_order = priority_sweep_order(&dims, &plan, &cost, &rates, dense_opts);
+            let shard_order = priority_sweep_order(&dims, &plan, &cost, &rates, shard_opts);
+            rows.push(vec![
+                format!("{world}"),
+                name.to_string(),
+                format!("{:.3}", ms(dense_opts)),
+                format!("{:.3}", ms(StepModelOptions { order: Some(&dense_order), ..dense_opts })),
+                format!("{:.3}", ms(shard_opts)),
+                format!("{:.3}", ms(StepModelOptions { order: Some(&shard_order), ..shard_opts })),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["world", "network", "dense ms", "dense+prio ms", "sharded ms", "sharded+prio ms"],
+            &rows
+        )
+    );
+    println!("(the priority columns use the makespan-searched sweep order; the search starts from the fixed order, so they never regress)\n");
+}
+
 fn main() {
     println!("Figure 7 — time per KFAC.step() section vs grad_worker_frac\n");
     simulated();
     live();
     cost_model();
+    sharded();
 }

@@ -4,12 +4,42 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::meter::{CommEvent, CommOp, CommTag, Meter, MeterSnapshot};
-use crate::{CollectiveCostModel, Communicator, PendingCollective, ReduceOp};
+use crate::{CollectiveCostModel, Communicator, PendingCollective, ReduceOp, ShardSpec};
 
 /// Key identifying one in-flight collective: the (sorted) participating
 /// group plus that group's per-member operation sequence number. Matching
 /// follows MPI semantics: members issue a group's collectives in order.
 type OpKey = (Vec<usize>, u64);
+
+/// Reduce stashed per-rank contributions in ascending rank order, so results
+/// are bit-deterministic regardless of thread scheduling (floating-point
+/// addition is not associative). Shared by allreduce and reduce-scatter —
+/// which is what makes a reduce-scatter shard bitwise equal to the same
+/// slice of an allreduce. `Avg` scaling is applied by the caller.
+fn reduce_rank_order(parts: &BTreeMap<usize, Vec<f32>>, op: ReduceOp) -> Vec<f32> {
+    let mut acc: Option<Vec<f32>> = None;
+    for part in parts.values() {
+        match acc.as_mut() {
+            None => acc = Some(part.clone()),
+            Some(acc) => {
+                debug_assert_eq!(acc.len(), part.len(), "reduction length mismatch");
+                match op {
+                    ReduceOp::Sum | ReduceOp::Avg => {
+                        for (a, b) in acc.iter_mut().zip(part) {
+                            *a += *b;
+                        }
+                    }
+                    ReduceOp::Max => {
+                        for (a, b) in acc.iter_mut().zip(part) {
+                            *a = a.max(*b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    acc.expect("at least one contribution")
+}
 
 #[derive(Default)]
 struct OpSlot {
@@ -172,28 +202,9 @@ impl Communicator for ThreadComm {
         slot.gather.insert(self.rank, buf.to_vec());
         slot.arrived += 1;
         if slot.arrived == p {
-            let mut acc: Option<Vec<f32>> = None;
-            for (_, part) in slot.gather.iter() {
-                match acc.as_mut() {
-                    None => acc = Some(part.clone()),
-                    Some(acc) => {
-                        debug_assert_eq!(acc.len(), part.len(), "allreduce length mismatch");
-                        match op {
-                            ReduceOp::Sum | ReduceOp::Avg => {
-                                for (a, b) in acc.iter_mut().zip(part) {
-                                    *a += *b;
-                                }
-                            }
-                            ReduceOp::Max => {
-                                for (a, b) in acc.iter_mut().zip(part) {
-                                    *a = a.max(*b);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            let mut result = acc.expect("at least one contribution");
+            // The last arriver reduces the stashed contributions in rank
+            // order (see `reduce_rank_order`).
+            let mut result = reduce_rank_order(&slot.gather, op);
             if op == ReduceOp::Avg {
                 let inv = 1.0 / p as f32;
                 for v in result.iter_mut() {
@@ -281,7 +292,20 @@ impl Communicator for ThreadComm {
                 // completion before the root has posted the slot.
                 let slot = slots.entry(ticket.key.clone()).or_default();
                 if slot.ready {
-                    buf.copy_from_slice(slot.buf.as_ref().expect("result present"));
+                    let full = slot.buf.as_ref().expect("result present");
+                    match &ticket.shard {
+                        // Reduce-scatter: copy only this rank's owned ranges,
+                        // concatenated.
+                        Some(ranges) => {
+                            let mut off = 0;
+                            for &(start, len) in ranges {
+                                buf[off..off + len].copy_from_slice(&full[start..start + len]);
+                                off += len;
+                            }
+                            debug_assert_eq!(off, buf.len(), "buffer sized to owned shards");
+                        }
+                        None => buf.copy_from_slice(full),
+                    }
                     slot.done += 1;
                     if slot.done == ticket.participants {
                         slots.remove(&ticket.key);
@@ -341,61 +365,120 @@ impl Communicator for ThreadComm {
     fn reduce_scatter(&self, send: &[f32]) -> Vec<f32> {
         let group = self.world_group();
         let p = group.len();
-        assert_eq!(send.len() % p, 0, "reduce_scatter length must divide by world size");
-        let chunk = send.len() / p;
+        // Pad-and-trim shard boundaries: with chunk = ⌈len / p⌉, rank k owns
+        // result[k·chunk .. min((k+1)·chunk, len)] — trailing ranks may
+        // receive short or empty chunks when the length does not divide.
+        let chunk = send.len().div_ceil(p);
+        let shards: Vec<ShardSpec> = group
+            .iter()
+            .map(|&k| {
+                let start = (k * chunk).min(send.len());
+                ShardSpec { owner: k, start, len: chunk.min(send.len() - start) }
+            })
+            .collect();
+        let mut out = vec![0.0f32; shards[self.rank].len];
+        let pending =
+            self.begin_reduce_scatter(send, ReduceOp::Sum, &group, &shards, CommTag::Untagged);
+        self.complete(pending, &mut out);
+        out
+    }
+
+    fn begin_reduce_scatter(
+        &self,
+        buf: &[f32],
+        op: ReduceOp,
+        group: &[usize],
+        shards: &[ShardSpec],
+        tag: CommTag,
+    ) -> PendingCollective {
+        let group = self.normalize_group(group);
+        let p = group.len();
+        // Validate the shard tiling on this rank's view; every member must
+        // pass an identical spec (same contract as matching collectives).
+        let mut end = 0usize;
+        for s in shards {
+            assert_eq!(s.start, end, "shards must tile the payload contiguously");
+            assert!(group.contains(&s.owner), "shard owner {} not in group {group:?}", s.owner);
+            end += s.len;
+        }
+        assert_eq!(end, buf.len(), "shards must cover the whole payload");
+        let ranges: Vec<(usize, usize)> =
+            shards.iter().filter(|s| s.owner == self.rank).map(|s| (s.start, s.len)).collect();
         if p == 1 {
-            return send.to_vec();
+            let owned: Vec<f32> = ranges
+                .iter()
+                .flat_map(|&(start, len)| buf[start..start + len].iter().copied())
+                .collect();
+            return PendingCollective::ready(owned, tag);
         }
-        // Implemented over the rendezvous core as reduce-then-slice; the
-        // cost meter charges the ring reduce-scatter model (half a ring
-        // allreduce), not the naive algorithm used for correctness.
         let key = (group.clone(), self.next_seq(&group));
-        let bytes = std::mem::size_of_val(send);
+        let bytes = std::mem::size_of_val(buf);
+
         let mut slots = self.core.slots.lock().unwrap();
-        {
-            let slot = slots.entry(key.clone()).or_default();
-            slot.gather.insert(self.rank, send.to_vec());
-            slot.arrived += 1;
-            if slot.arrived == p {
-                let mut acc: Option<Vec<f32>> = None;
-                for (_, part) in slot.gather.iter() {
-                    match acc.as_mut() {
-                        None => acc = Some(part.clone()),
-                        Some(acc) => {
-                            for (a, b) in acc.iter_mut().zip(part) {
-                                *a += *b;
-                            }
-                        }
-                    }
-                }
-                slot.buf = acc;
-                slot.gather.clear();
-                slot.ready = true;
-                self.core.meter.record(CommEvent {
-                    op: CommOp::Allreduce,
-                    bytes,
-                    group_size: p,
-                    seconds: self.core.cost.allreduce(bytes, p) / 2.0,
-                    tag: CommTag::Untagged,
-                });
-                self.core.cond.notify_all();
-            }
-        }
-        loop {
-            {
-                let slot = slots.get_mut(&key).expect("slot vanished before completion");
-                if slot.ready {
-                    let full = slot.buf.as_ref().expect("result present");
-                    let out = full[self.rank * chunk..(self.rank + 1) * chunk].to_vec();
-                    slot.done += 1;
-                    if slot.done == p {
-                        slots.remove(&key);
-                    }
-                    return out;
+        let slot = slots.entry(key.clone()).or_default();
+        slot.gather.insert(self.rank, buf.to_vec());
+        slot.arrived += 1;
+        if slot.arrived == p {
+            // Reduce-then-slice over the rendezvous core: the same rank-order
+            // reduction as allreduce, so each shard is bitwise the same slice
+            // an allreduce would produce. The meter charges the ring
+            // reduce-scatter model — half a ring allreduce — once per
+            // collective, not per rank.
+            let mut result = reduce_rank_order(&slot.gather, op);
+            if op == ReduceOp::Avg {
+                let inv = 1.0 / p as f32;
+                for v in result.iter_mut() {
+                    *v *= inv;
                 }
             }
-            slots = self.core.cond.wait(slots).unwrap();
+            slot.buf = Some(result);
+            slot.gather.clear();
+            slot.ready = true;
+            self.core.meter.record(CommEvent {
+                op: CommOp::ReduceScatter,
+                bytes: bytes / 2,
+                group_size: p,
+                seconds: self.core.cost.reduce_scatter(bytes, p),
+                tag,
+            });
+            self.core.cond.notify_all();
         }
+        PendingCollective::in_flight_sharded(key, p, tag, ranges)
+    }
+
+    fn begin_allgather(&self, buf: &[f32], group: &[usize], tag: CommTag) -> PendingCollective {
+        let group = self.normalize_group(group);
+        let p = group.len();
+        if p == 1 {
+            return PendingCollective::ready(buf.to_vec(), tag);
+        }
+        let key = (group.clone(), self.next_seq(&group));
+        let mut slots = self.core.slots.lock().unwrap();
+        let slot = slots.entry(key.clone()).or_default();
+        slot.gather.insert(self.rank, buf.to_vec());
+        slot.arrived += 1;
+        if slot.arrived == p {
+            // Concatenate contributions in group rank order (BTreeMap keys
+            // ascend). Contribution lengths may differ per member.
+            let mut out = Vec::new();
+            for part in slot.gather.values() {
+                out.extend_from_slice(part);
+            }
+            let total_bytes = std::mem::size_of::<f32>() * out.len();
+            slot.buf = Some(out);
+            slot.gather.clear();
+            slot.ready = true;
+            self.core.meter.record(CommEvent {
+                op: CommOp::Allgather,
+                // The gather half of a ring allreduce (see CommEvent::bytes).
+                bytes: total_bytes / 2,
+                group_size: p,
+                seconds: self.core.cost.allgather(total_bytes.div_ceil(p), p),
+                tag,
+            });
+            self.core.cond.notify_all();
+        }
+        PendingCollective::in_flight(key, p, tag)
     }
 
     fn barrier(&self) {
@@ -763,5 +846,110 @@ mod reduce_scatter_tests {
     fn reduce_scatter_world_one() {
         let results = ThreadComm::run(1, |comm| comm.reduce_scatter(&[1.0, 2.0]));
         assert_eq!(results[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_pads_and_trims_non_divisible_lengths() {
+        // 7 elements over 3 ranks: chunk = ⌈7/3⌉ = 3, so the split is
+        // [0..3), [3..6), [6..7).
+        let results = ThreadComm::run(3, |comm| {
+            let send: Vec<f32> = (0..7).map(|i| (comm.rank() + i) as f32).collect();
+            comm.reduce_scatter(&send)
+        });
+        // Sum over ranks of (r + i) = 3i + 3.
+        assert_eq!(results[0], vec![3.0, 6.0, 9.0]);
+        assert_eq!(results[1], vec![12.0, 15.0, 18.0]);
+        assert_eq!(results[2], vec![21.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_trailing_rank_can_own_nothing() {
+        // 2 elements over 4 ranks: chunk = 1; ranks 2 and 3 own nothing.
+        let results = ThreadComm::run(4, |comm| comm.reduce_scatter(&[1.0, 2.0]));
+        assert_eq!(results[0], vec![4.0]);
+        assert_eq!(results[1], vec![8.0]);
+        assert_eq!(results[2], Vec::<f32>::new());
+        assert_eq!(results[3], Vec::<f32>::new());
+    }
+
+    #[test]
+    fn begin_reduce_scatter_matches_allreduce_slice_bitwise() {
+        // Awkward floats whose sum depends on association order: a shard of
+        // the reduce-scatter must be bit-identical to the same slice of an
+        // allreduce over the same group.
+        let mk = |rank: usize| -> Vec<f32> {
+            (0..12).map(|i| 0.1 + rank as f32 * 1e-7 + i as f32 * 0.3).collect()
+        };
+        let reference = ThreadComm::run(4, |comm| {
+            let mut buf = mk(comm.rank());
+            comm.allreduce(&mut buf, ReduceOp::Avg);
+            buf
+        });
+        let sharded = ThreadComm::run(4, |comm| {
+            let buf = mk(comm.rank());
+            // Uneven, multi-shard ownership: rank 1 owns two shards.
+            let shards = [
+                ShardSpec { owner: 1, start: 0, len: 5 },
+                ShardSpec { owner: 0, start: 5, len: 2 },
+                ShardSpec { owner: 1, start: 7, len: 1 },
+                ShardSpec { owner: 3, start: 8, len: 4 },
+            ];
+            let pending = comm.begin_reduce_scatter(
+                &buf,
+                ReduceOp::Avg,
+                &[0, 1, 2, 3],
+                &shards,
+                CommTag::FactorReduce,
+            );
+            let owned: usize =
+                shards.iter().filter(|s| s.owner == comm.rank()).map(|s| s.len).sum();
+            let mut out = vec![0.0f32; owned];
+            comm.complete(pending, &mut out);
+            out
+        });
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&sharded[0]), bits(&reference[0][5..7]));
+        let rank1: Vec<f32> =
+            reference[1][0..5].iter().chain(&reference[1][7..8]).copied().collect();
+        assert_eq!(bits(&sharded[1]), bits(&rank1));
+        assert_eq!(sharded[2], Vec::<f32>::new());
+        assert_eq!(bits(&sharded[3]), bits(&reference[3][8..12]));
+    }
+
+    #[test]
+    fn begin_allgather_concatenates_variable_lengths_in_rank_order() {
+        let results = ThreadComm::run(3, |comm| {
+            // Rank r contributes r+1 copies of r·10, but only ranks 0 and 2
+            // participate in the group.
+            if comm.rank() == 1 {
+                return Vec::new();
+            }
+            let send = vec![comm.rank() as f32 * 10.0; comm.rank() + 1];
+            let pending = comm.begin_allgather(&send, &[0, 2], CommTag::FactorGather);
+            let mut out = vec![0.0f32; 4];
+            comm.complete(pending, &mut out);
+            out
+        });
+        assert_eq!(results[0], vec![0.0, 20.0, 20.0, 20.0]);
+        assert_eq!(results[2], vec![0.0, 20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn meter_counts_reduce_scatter_once_with_half_volume() {
+        let comms = ThreadComm::world(4);
+        std::thread::scope(|s| {
+            for comm in &comms {
+                s.spawn(move || {
+                    let send = vec![1.0f32; 16]; // 64 bytes
+                    let _ = comm.reduce_scatter(&send);
+                });
+            }
+        });
+        let snap = comms[0].meter_snapshot();
+        // One event for the whole collective (not one per rank), charged the
+        // reduce half of a ring allreduce: 64/2 = 32 bytes.
+        assert_eq!(snap.calls(CommOp::ReduceScatter), 1);
+        assert_eq!(snap.bytes(CommOp::ReduceScatter), 32);
+        assert_eq!(snap.calls(CommOp::Allreduce), 0);
     }
 }

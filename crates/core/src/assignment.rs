@@ -49,6 +49,16 @@ impl LayerAssignment {
     pub fn bcast_group_of(&self, rank: usize) -> Option<&Vec<usize>> {
         self.bcast_groups.iter().find(|g| g.contains(&rank))
     }
+
+    /// The sorted, deduplicated `{a_worker, g_worker}` set — the ranks that
+    /// own shards of this layer's factor payload under sharded reduction,
+    /// and the participant group of a `FactorGather` allgather.
+    pub fn eig_worker_group(&self) -> Vec<usize> {
+        let mut g = vec![self.a_worker, self.g_worker];
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
 }
 
 /// The full placement plan for a model.

@@ -50,6 +50,23 @@ pub struct KfacConfig {
     /// order; both paths are bitwise-identical (property-tested), so this
     /// only trades wall-clock for simplicity when debugging.
     pub pipelined: bool,
+    /// Replace the per-layer factor allreduce with a sharded reduction
+    /// (DP-KFAC, Zhang et al.): reduce-scatter the packed factor payload so
+    /// the `A` section lands only on the layer's A-eigendecomposition worker
+    /// and the `G` section only on its G-worker; non-workers never
+    /// rematerialize (or store) the averaged factors. Halves factor-phase
+    /// communication volume and drops non-worker factor memory. Bitwise
+    /// identical to the dense path (property-tested); the dense path remains
+    /// the reference implementation.
+    pub sharded_factors: bool,
+    /// Iterate pipelined executor sweeps in the issue order found by the
+    /// `StepModel` makespan search (shortest critical chains first, refined
+    /// by pairwise-swap descent; never modeled worse than fixed order)
+    /// instead of fixed layer order. Changes only the *issue order* of
+    /// tasks and collectives — every collective keeps its group and
+    /// payload, so numerics are bitwise unchanged. No effect on the serial
+    /// executor.
+    pub priority_schedule: bool,
 }
 
 impl Default for KfacConfig {
@@ -68,6 +85,8 @@ impl Default for KfacConfig {
             assignment: AssignmentStrategy::ComputeLpt,
             ekfac: false,
             pipelined: true,
+            sharded_factors: false,
+            priority_schedule: false,
         }
     }
 }
@@ -178,6 +197,20 @@ impl KfacConfigBuilder {
     /// compute/communication overlap) vs. the serial reference executor.
     pub fn pipelined(mut self, on: bool) -> Self {
         self.cfg.pipelined = on;
+        self
+    }
+
+    /// Toggle sharded factor reduction (reduce-scatter to eigendecomposition
+    /// workers) vs. the dense factor allreduce.
+    pub fn sharded_factors(mut self, on: bool) -> Self {
+        self.cfg.sharded_factors = on;
+        self
+    }
+
+    /// Toggle critical-path priority ordering of the pipelined executor's
+    /// sweeps vs. fixed layer order.
+    pub fn priority_schedule(mut self, on: bool) -> Self {
+        self.cfg.priority_schedule = on;
         self
     }
 

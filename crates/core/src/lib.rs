@@ -46,7 +46,9 @@ mod timing;
 
 pub use assignment::{plan_assignments, AssignmentStrategy, LayerAssignment, WorkPlan};
 pub use config::{KfacConfig, KfacConfigBuilder};
-pub use pipeline::{ComputeRates, PipelineStage, StepModel, TaskGraph};
+pub use pipeline::{
+    priority_sweep_order, ComputeRates, PipelineStage, StepModel, StepModelOptions, TaskGraph,
+};
 pub use preconditioner::Kfac;
 pub use state::KfacLayerState;
 pub use timing::{Stage, StageTimes, KFAC_STAGES};

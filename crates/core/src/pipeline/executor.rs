@@ -24,7 +24,7 @@
 use kaisa_comm::{CommTag, Communicator, PendingCollective, ReduceOp};
 use kaisa_tensor::Matrix;
 
-use crate::preconditioner::Kfac;
+use crate::preconditioner::{factor_shards, reassemble_gathered_payload, Kfac};
 use crate::state::{
     factor_payload_len, pack_factor_payload, unpack_factor_payload, KfacLayerState,
 };
@@ -62,15 +62,18 @@ impl Kfac {
         let decay = self.cfg.factor_decay;
         let triangular = self.cfg.triangular_comm;
         let world_group: Vec<usize> = (0..self.world).collect();
+        let order = self.sweep_order.clone();
 
         struct InFlight {
+            layer: usize,
             pending: PendingCollective,
             buf: Vec<f32>,
             split: usize,
         }
         let mut inflight: Vec<InFlight> = Vec::with_capacity(layers.len());
 
-        for (i, layer) in layers.iter_mut().enumerate() {
+        for &i in &order {
+            let layer = &mut layers[i];
             let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
                 panic!(
                     "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
@@ -89,12 +92,13 @@ impl Kfac {
                 let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
                 let pending =
                     comm.begin_allreduce(&buf, ReduceOp::Avg, &world_group, CommTag::FactorComm);
-                InFlight { pending, buf, split }
+                InFlight { layer: i, pending, buf, split }
             });
             inflight.push(entry);
         }
 
-        for (i, mut fl) in inflight.into_iter().enumerate() {
+        for mut fl in inflight {
+            let i = fl.layer;
             let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
             let (a_new, g_new) = self.times.time_layer(i, Stage::FactorComm, || {
                 comm.complete(fl.pending, &mut fl.buf);
@@ -105,6 +109,114 @@ impl Kfac {
             self.times.time_layer(i, Stage::FactorCompute, || {
                 self.states[i].update_factors(a_new, g_new, decay);
             });
+        }
+    }
+
+    /// Pipelined *sharded* factor update: sweep A finalizes statistics and
+    /// begins every layer's reduce-scatter (the `A` section toward the
+    /// layer's A-eigendecomposition worker, the `G` section toward its
+    /// G-worker); sweep B completes the shards, folds the gather-free layers,
+    /// and begins the direct-inverse fallback's worker-group regathers;
+    /// sweep C completes those and folds on the A workers.
+    pub(crate) fn update_factors_sharded_pipelined(
+        &mut self,
+        layers: &mut [&mut dyn kaisa_nn::KfacAble],
+        comm: &dyn Communicator,
+    ) {
+        let precision = self.cfg.precision;
+        let triangular = self.cfg.triangular_comm;
+        let rank = self.rank;
+        let world_group: Vec<usize> = (0..self.world).collect();
+        let order = self.sweep_order.clone();
+
+        struct InFlight {
+            layer: usize,
+            pending: PendingCollective,
+            split: usize,
+            total: usize,
+        }
+        let mut inflight: Vec<InFlight> = Vec::with_capacity(layers.len());
+
+        for &i in &order {
+            let layer = &mut layers[i];
+            let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                panic!(
+                    "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                    layer.layer_name()
+                )
+            });
+            let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+                let inv = 1.0 / stats.batches.max(1) as f32;
+                let mut a = stats.a_stat;
+                a.scale(inv);
+                let mut g = stats.g_stat;
+                g.scale(inv);
+                (a, g)
+            });
+            let asn = self.plan.layers[i].clone();
+            let entry = self.times.time_layer(i, Stage::FactorComm, || {
+                let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
+                let total = buf.len();
+                let shards = factor_shards(&asn, split, total);
+                let pending = comm.begin_reduce_scatter(
+                    &buf,
+                    ReduceOp::Avg,
+                    &world_group,
+                    &shards,
+                    CommTag::FactorReduce,
+                );
+                InFlight { layer: i, pending, split, total }
+            });
+            inflight.push(entry);
+        }
+
+        struct GatherInFlight {
+            layer: usize,
+            pending: PendingCollective,
+            owned_len: usize,
+            split: usize,
+            total: usize,
+        }
+        let mut gathers: Vec<GatherInFlight> = Vec::new();
+
+        for fl in inflight {
+            let i = fl.layer;
+            let asn = self.plan.layers[i].clone();
+            let owned_len: usize = factor_shards(&asn, fl.split, fl.total)
+                .iter()
+                .filter(|s| s.owner == rank)
+                .map(|s| s.len)
+                .sum();
+            let mut owned = vec![0.0f32; owned_len];
+            self.times.time_layer(i, Stage::FactorComm, || comm.complete(fl.pending, &mut owned));
+            self.comm_bytes += (owned_len * precision.bytes_per_element()) as u64;
+            if self.needs_factor_gather(&asn) {
+                let group = asn.eig_worker_group();
+                if group.contains(&rank) {
+                    let pending = self.times.time_layer(i, Stage::FactorComm, || {
+                        comm.begin_allgather(&owned, &group, CommTag::FactorGather)
+                    });
+                    gathers.push(GatherInFlight {
+                        layer: i,
+                        pending,
+                        owned_len,
+                        split: fl.split,
+                        total: fl.total,
+                    });
+                }
+            } else {
+                self.fold_owned_sections(i, owned, fl.split, fl.total);
+            }
+        }
+
+        for g in gathers {
+            let i = g.layer;
+            let asn = self.plan.layers[i].clone();
+            let mut gathered = vec![0.0f32; g.total];
+            self.times.time_layer(i, Stage::FactorComm, || comm.complete(g.pending, &mut gathered));
+            self.comm_bytes += ((g.total - g.owned_len) * precision.bytes_per_element()) as u64;
+            let payload = reassemble_gathered_payload(&asn, &gathered, g.split);
+            self.fold_gathered_payload(i, payload, g.split);
         }
     }
 
@@ -119,6 +231,7 @@ impl Kfac {
         let precompute = self.cfg.precompute_outer;
         let use_eigen = self.cfg.use_eigen;
         let n = self.states.len();
+        let order = self.sweep_order.clone();
 
         let mut va: Vec<Option<Vec<f32>>> = vec![None; n];
         let mut vg: Vec<Option<Vec<f32>>> = vec![None; n];
@@ -126,7 +239,7 @@ impl Kfac {
             (0..n).map(|_| None).collect();
 
         // Sweep 1: local eigensolves (or inverses); begin v_A pair shuttles.
-        for i in 0..n {
+        for &i in &order {
             let asn = self.plan.layers[i].clone();
             // EK-FAC corrected moments live in the eigenbasis; a new basis
             // invalidates them (they re-seed from the fresh outer product).
@@ -172,7 +285,7 @@ impl Kfac {
 
         // Sweep 2: finish shuttles, outer products; begin result broadcasts.
         let mut bcasts: Vec<LayerBcasts> = (0..n).map(|_| LayerBcasts::default()).collect();
-        for i in 0..n {
+        for &i in &order {
             let asn = self.plan.layers[i].clone();
             let is_gw = asn.is_gradient_worker(rank);
             let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
@@ -299,7 +412,8 @@ impl Kfac {
         }
 
         // Sweep 3: complete every result broadcast into the layer state.
-        for (i, b) in bcasts.into_iter().enumerate() {
+        for &i in &order {
+            let b = std::mem::take(&mut bcasts[i]);
             if let Some(mb) = b.inv_a {
                 let m = self.complete_matrix_bcast(i, comm, mb);
                 self.states[i].inv_a = Some(m);
@@ -344,11 +458,13 @@ impl Kfac {
         let precision = self.cfg.precision;
         let grads: Vec<Matrix> = layers.iter().map(|l| l.combined_grad()).collect();
         let n = grads.len();
+        let order = self.sweep_order.clone();
 
         let mut pending: Vec<Option<PendingCollective>> = (0..n).map(|_| None).collect();
-        let mut preconditioned: Vec<Matrix> = Vec::with_capacity(n);
+        let mut preconditioned: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
 
-        for (i, grad) in grads.iter().enumerate() {
+        for &i in &order {
+            let grad = &grads[i];
             let asn = self.plan.layers[i].clone();
             let is_gw = asn.is_gradient_worker(rank);
             let mut precond = self.precondition_local(i, grad, is_gw);
@@ -364,16 +480,20 @@ impl Kfac {
                     comm.begin_broadcast(precond.as_slice(), root, group, CommTag::GradComm)
                 }));
             }
-            preconditioned.push(precond);
+            preconditioned[i] = Some(precond);
         }
 
-        for (i, slot) in pending.iter_mut().enumerate() {
-            if let Some(p) = slot.take() {
-                let buf = preconditioned[i].as_mut_slice();
+        for &i in &order {
+            if let Some(p) = pending[i].take() {
+                let buf = preconditioned[i].as_mut().expect("filled in sweep 1").as_mut_slice();
                 self.times.time_layer(i, Stage::GradComm, || comm.complete(p, buf));
             }
         }
 
+        // The KL-clip scale consumes layers in fixed order on every config,
+        // so ν — and therefore the update — is bitwise order-independent.
+        let preconditioned: Vec<Matrix> =
+            preconditioned.into_iter().map(|p| p.expect("every layer preconditioned")).collect();
         self.scale_and_write_back(layers, &grads, preconditioned, lr);
     }
 

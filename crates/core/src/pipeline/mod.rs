@@ -32,4 +32,6 @@ pub mod stage;
 pub mod task;
 
 pub use stage::PipelineStage;
-pub use task::{ComputeRates, Resource, StepModel, Task, TaskGraph};
+pub use task::{
+    priority_sweep_order, ComputeRates, Resource, StepModel, StepModelOptions, Task, TaskGraph,
+};

@@ -135,6 +135,33 @@ impl Default for ComputeRates {
     }
 }
 
+/// Options for [`StepModel::with_options`] beyond the dense defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct StepModelOptions<'a> {
+    /// Factor element width in bytes (2 for fp16 factors).
+    pub elem_bytes: usize,
+    /// Triangular factor packing (Section 4.3).
+    pub triangular: bool,
+    /// Model the sharded factor reduction (`FactorReduce` replaces the
+    /// world allreduce; folds run only on the owning eigendecomposition
+    /// workers).
+    pub sharded: bool,
+    /// With `sharded`, also model the `FactorGather` regather within each
+    /// layer's eigendecomposition worker group — the direct-inverse
+    /// fallback, whose solver consumes both factors on one rank.
+    pub gather: bool,
+    /// Issue layers within each phase in this order instead of `0..n`
+    /// (the pipelined executor's priority schedule). Must be a permutation.
+    pub order: Option<&'a [usize]>,
+}
+
+impl StepModelOptions<'_> {
+    /// Dense-path options: world allreduce, fixed layer order.
+    pub fn dense(elem_bytes: usize, triangular: bool) -> Self {
+        StepModelOptions { elem_bytes, triangular, sharded: false, gather: false, order: None }
+    }
+}
+
 /// The modeled cost of one full K-FAC update step (factor + eig +
 /// precondition + scale) under a given placement plan and network.
 #[derive(Debug, Clone)]
@@ -142,12 +169,14 @@ pub struct StepModel {
     graph: TaskGraph,
     serial: f64,
     world: usize,
+    chain: Vec<f64>,
 }
 
 impl StepModel {
-    /// Build the model for layers of factor dims `dims = [(a, g); n]` under
-    /// `plan`, an α–β network `cost`, compute `rates`, factor element width
-    /// `elem_bytes` (2 for fp16 factors), and the triangular-packing flag.
+    /// Build the dense-path model for layers of factor dims
+    /// `dims = [(a, g); n]` under `plan`, an α–β network `cost`, compute
+    /// `rates`, factor element width `elem_bytes` (2 for fp16 factors), and
+    /// the triangular-packing flag.
     pub fn new(
         dims: &[(usize, usize)],
         plan: &WorkPlan,
@@ -156,18 +185,67 @@ impl StepModel {
         elem_bytes: usize,
         triangular: bool,
     ) -> Self {
+        StepModel::with_options(
+            dims,
+            plan,
+            cost,
+            rates,
+            StepModelOptions::dense(elem_bytes, triangular),
+        )
+    }
+
+    /// Build the model with explicit [`StepModelOptions`] — the sharded
+    /// factor path, the inverse-fallback regather, and/or a priority issue
+    /// order.
+    pub fn with_options(
+        dims: &[(usize, usize)],
+        plan: &WorkPlan,
+        cost: &CollectiveCostModel,
+        rates: &ComputeRates,
+        opts: StepModelOptions<'_>,
+    ) -> Self {
         assert_eq!(dims.len(), plan.layers.len(), "plan must cover every layer");
+        let StepModelOptions { elem_bytes, triangular, sharded, gather, order } = opts;
         let world = plan.world;
         let mut graph = TaskGraph::new();
         let mut serial = 0.0f64;
 
         let n = dims.len();
+        let order: Vec<usize> = match order {
+            Some(o) => {
+                let mut sorted = o.to_vec();
+                sorted.sort_unstable();
+                assert!(
+                    sorted.iter().copied().eq(0..n),
+                    "issue order must be a permutation of 0..{n}"
+                );
+                o.to_vec()
+            }
+            None => (0..n).collect(),
+        };
+        let mut chain = vec![0.0f64; n];
         let fa_fin: Vec<f64> =
             dims.iter().map(|&(a, g)| 2.0 * (a * a + g * g) as f64 / rates.gemm_flops).collect();
         let fa_fold = fa_fin.clone(); // axpby over both factors: same element count
-        let ar: Vec<f64> = dims
-            .iter()
-            .map(|&(a, g)| cost.allreduce(factor_payload_len(a, g, triangular) * elem_bytes, world))
+        let fold_a: Vec<f64> =
+            dims.iter().map(|&(a, _)| 2.0 * (a * a) as f64 / rates.gemm_flops).collect();
+        let fold_g: Vec<f64> =
+            dims.iter().map(|&(_, g)| 2.0 * (g * g) as f64 / rates.gemm_flops).collect();
+        let payload_bytes: Vec<usize> =
+            dims.iter().map(|&(a, g)| factor_payload_len(a, g, triangular) * elem_bytes).collect();
+        let ar: Vec<f64> = payload_bytes.iter().map(|&b| cost.allreduce(b, world)).collect();
+        let rs: Vec<f64> = payload_bytes.iter().map(|&b| cost.reduce_scatter(b, world)).collect();
+        // The fallback regather within the (at most two-member) eig worker
+        // group: each member contributes roughly half the payload.
+        let ga: Vec<f64> = (0..n)
+            .map(|i| {
+                let asn = &plan.layers[i];
+                if gather && asn.a_worker != asn.g_worker {
+                    cost.allgather(payload_bytes[i].div_ceil(2), 2)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let eig_a: Vec<f64> =
             dims.iter().map(|&(a, _)| 9.0 * (a as f64).powi(3) / rates.eig_flops).collect();
@@ -183,10 +261,15 @@ impl StepModel {
             dims.iter().map(|&(a, g)| 3.0 * (a * g) as f64 / rates.gemm_flops).collect();
 
         // -------- Factor phase --------
-        // Sweep A: finalize on every rank, then post the allreduce.
+        // Sweep A: finalize on every rank, then post the collective (world
+        // allreduce, or the sharded reduce-scatter). Sweep B folds the
+        // averages — on every rank for the dense path, only on the owning
+        // eigendecomposition workers for the sharded path.
+        let mut a_factor_ready = vec![0usize; n]; // task feeding eig_a on the A worker
+        let mut g_factor_ready = vec![0usize; n]; // task feeding eig_g on the G worker
         let mut fin_ids = vec![Vec::new(); n];
-        let mut ar_ids = Vec::with_capacity(n);
-        for i in 0..n {
+        let mut comm_ids = vec![0usize; n];
+        for &i in &order {
             for r in 0..world {
                 let id = graph.push(Task {
                     layer: i,
@@ -197,46 +280,96 @@ impl StepModel {
                 });
                 fin_ids[i].push(id);
             }
-            ar_ids.push(graph.push(Task {
+            let (stage, duration) = if sharded {
+                (PipelineStage::FactorReduce, rs[i])
+            } else {
+                (PipelineStage::FactorAllreduce, ar[i])
+            };
+            comm_ids[i] = graph.push(Task {
                 layer: i,
-                stage: PipelineStage::FactorAllreduce,
+                stage,
                 resource: Resource::Network,
-                duration: ar[i],
+                duration,
                 deps: fin_ids[i].clone(),
-            }));
+            });
+            chain[i] += fa_fin[i] + duration;
         }
-        // Sweep B: fold the averaged factors on every rank.
-        let mut fold_ids = vec![Vec::new(); n];
-        for i in 0..n {
-            for r in 0..world {
-                let id = graph.push(Task {
+        for &i in &order {
+            let asn = &plan.layers[i];
+            let mut fold_dep = comm_ids[i];
+            if sharded && ga[i] > 0.0 {
+                fold_dep = graph.push(Task {
+                    layer: i,
+                    stage: PipelineStage::FactorGather,
+                    resource: Resource::Network,
+                    duration: ga[i],
+                    deps: vec![comm_ids[i]],
+                });
+                chain[i] += ga[i];
+            }
+            if sharded {
+                let a_id = graph.push(Task {
                     layer: i,
                     stage: PipelineStage::FactorAccumulate,
-                    resource: Resource::Compute(r),
-                    duration: fa_fold[i],
-                    deps: vec![ar_ids[i]],
+                    resource: Resource::Compute(asn.a_worker),
+                    duration: fold_a[i],
+                    deps: vec![fold_dep],
                 });
-                fold_ids[i].push(id);
+                let g_id = graph.push(Task {
+                    layer: i,
+                    stage: PipelineStage::FactorAccumulate,
+                    resource: Resource::Compute(asn.g_worker),
+                    duration: fold_g[i],
+                    deps: vec![fold_dep],
+                });
+                a_factor_ready[i] = a_id;
+                g_factor_ready[i] = g_id;
+                chain[i] += if asn.a_worker == asn.g_worker {
+                    fold_a[i] + fold_g[i]
+                } else {
+                    fold_a[i].max(fold_g[i])
+                };
+                serial += fa_fin[i] + rs[i] + ga[i];
+                serial += if asn.a_worker == asn.g_worker {
+                    fold_a[i] + fold_g[i]
+                } else {
+                    fold_a[i].max(fold_g[i])
+                };
+            } else {
+                let mut fold_ids = Vec::with_capacity(world);
+                for r in 0..world {
+                    fold_ids.push(graph.push(Task {
+                        layer: i,
+                        stage: PipelineStage::FactorAccumulate,
+                        resource: Resource::Compute(r),
+                        duration: fa_fold[i],
+                        deps: vec![fold_dep],
+                    }));
+                }
+                a_factor_ready[i] = fold_ids[asn.a_worker];
+                g_factor_ready[i] = fold_ids[asn.g_worker];
+                chain[i] += fa_fold[i];
+                serial += fa_fin[i] + ar[i] + fa_fold[i];
             }
         }
 
         // -------- Eigendecomposition phase --------
-        let mut eig_done = Vec::with_capacity(n); // last task whose output feeds preconditioning
-        for i in 0..n {
+        let mut eig_done = vec![0usize; n]; // last task whose output feeds preconditioning
+        for &i in &order {
             let asn = &plan.layers[i];
             let a_id = graph.push(Task {
                 layer: i,
                 stage: PipelineStage::EigCompute,
                 resource: Resource::Compute(asn.a_worker),
                 duration: eig_a[i],
-                deps: vec![fold_ids[i][asn.a_worker]],
+                deps: vec![a_factor_ready[i]],
             });
             let g_id = graph.push(Task {
                 layer: i,
                 stage: PipelineStage::EigCompute,
                 resource: Resource::Compute(asn.g_worker),
                 duration: eig_g[i],
-                deps: vec![fold_ids[i][asn.g_worker]],
+                deps: vec![g_factor_ready[i]],
             });
             // v_A pair shuttle + outer product on the G worker.
             let mut outer_deps = vec![g_id];
@@ -276,7 +409,7 @@ impl StepModel {
             } else {
                 outer_id
             };
-            eig_done.push(done);
+            eig_done[i] = done;
             // Co-located workers serialize the two eigensolves; distinct
             // workers run them concurrently even in the serial executor.
             let eig_cost = if asn.a_worker == asn.g_worker {
@@ -285,11 +418,12 @@ impl StepModel {
                 eig_a[i].max(eig_g[i])
             };
             serial += eig_cost + pair_cost + outer[i] + bcast_cost;
+            chain[i] += eig_cost + pair_cost + outer[i] + bcast_cost;
         }
 
         // -------- Precondition + gradient broadcast phase --------
         let mut gb_or_p = Vec::new();
-        for i in 0..n {
+        for &i in &order {
             let asn = &plan.layers[i];
             let mut p_ids = Vec::new();
             for &r in &asn.gradient_workers {
@@ -316,6 +450,7 @@ impl StepModel {
                 gb_or_p.extend(p_ids);
             }
             serial += prec[i] + gb_cost;
+            chain[i] += prec[i] + gb_cost;
         }
 
         // -------- Scale --------
@@ -330,15 +465,12 @@ impl StepModel {
             });
         }
 
-        // Serial lock-step: every layer's factor stages round-trip before the
-        // next layer's begin (compute runs concurrently across ranks, but
-        // stages never overlap collectives).
-        for i in 0..n {
-            serial += fa_fin[i] + ar[i] + fa_fold[i];
-        }
+        // Serial lock-step: every layer's factor stages already round-tripped
+        // before the next layer's begin (accumulated above); only the shared
+        // scale remains.
         serial += scale_total;
 
-        StepModel { graph, serial, world }
+        StepModel { graph, serial, world, chain }
     }
 
     /// The underlying task graph.
@@ -360,6 +492,91 @@ impl StepModel {
     pub fn overlap_speedup(&self) -> f64 {
         self.serial_seconds() / self.pipelined_seconds().max(1e-18)
     }
+
+    /// Per-layer critical-chain duration: the sum of one layer's stage
+    /// durations from statistics finalize through its gradient broadcast.
+    /// This is the list-scheduling priority key for [`Self::priority_order`].
+    pub fn layer_priorities(&self) -> &[f64] {
+        &self.chain
+    }
+
+    /// Layer issue order by **ascending** critical-chain priority (ties
+    /// break toward the lower layer index). The executor's sweeps issue
+    /// collectives in this order and also *complete* them in this order, so
+    /// the schedule behaves like a permutation flow shop: a long-chain layer
+    /// issued first parks its unfinished collective at the head of the line
+    /// and stalls every later completion behind it. Issuing short chains
+    /// first drains them while the long eigensolves are still running —
+    /// Johnson's-rule flavor, and exhaustive permutation checks on the test
+    /// dims confirm shortest-chain-first is makespan-optimal for the dense
+    /// comm-bound configs. A pure function of the dims, plan, and cost
+    /// model, so every rank computes the same order — reordering collectives
+    /// identically preserves per-group matching.
+    pub fn priority_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.chain.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.chain[a].partial_cmp(&self.chain[b]).expect("finite priorities").then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// Pick the pipelined sweep order for `dims` under `plan`: evaluate the
+/// modeled makespan of the fixed order, the [`StepModel::priority_order`]
+/// chain orders (ascending and descending), then refine the winner with a
+/// deterministic pairwise-swap descent that only accepts strict
+/// improvements. Starting from the fixed order guarantees the result never
+/// models worse than issuing layers in `0..n`. Every input is identical on
+/// every rank, the scan order is fixed, and the arithmetic is
+/// deterministic, so all ranks agree on the order — collective matching is
+/// preserved. `opts.order` is ignored.
+pub fn priority_sweep_order(
+    dims: &[(usize, usize)],
+    plan: &WorkPlan,
+    cost: &CollectiveCostModel,
+    rates: &ComputeRates,
+    opts: StepModelOptions<'_>,
+) -> Vec<usize> {
+    let n = dims.len();
+    let eval = |order: &[usize]| {
+        let opts = StepModelOptions { order: Some(order), ..opts };
+        StepModel::with_options(dims, plan, cost, rates, opts).pipelined_seconds()
+    };
+    let mut best: Vec<usize> = (0..n).collect();
+    let mut best_t = eval(&best);
+    let base =
+        StepModel::with_options(dims, plan, cost, rates, StepModelOptions { order: None, ..opts });
+    let ascending = base.priority_order();
+    let descending: Vec<usize> = ascending.iter().rev().copied().collect();
+    for cand in [ascending, descending] {
+        let t = eval(&cand);
+        if t < best_t {
+            best_t = t;
+            best = cand;
+        }
+    }
+    // First-improvement descent over all pairwise swaps; layer counts are
+    // small so the O(n^2) evaluations per pass are cheap, and construction
+    // runs once per Kfac instance.
+    loop {
+        let mut improved = false;
+        for a in 0..n {
+            for b in a + 1..n {
+                let mut cand = best.clone();
+                cand.swap(a, b);
+                let t = eval(&cand);
+                if t < best_t {
+                    best_t = t;
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -423,6 +640,147 @@ mod tests {
     fn critical_path_lower_bounds_the_schedule() {
         let m = model(8, 0.5, ClusterNetwork::ethernet_10g());
         assert!(m.graph().critical_path() <= m.pipelined_seconds() + 1e-15);
+    }
+
+    fn sharded_opts(order: Option<&[usize]>) -> StepModelOptions<'_> {
+        StepModelOptions { elem_bytes: 4, triangular: false, sharded: true, gather: false, order }
+    }
+
+    #[test]
+    fn sharded_model_replaces_the_allreduce_and_moves_less_traffic() {
+        let d = dims();
+        let plan = plan_assignments(&d, 8, 0.5, AssignmentStrategy::ComputeLpt);
+        let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+        let rates = ComputeRates::default();
+        let dense = StepModel::new(&d, &plan, &cost, &rates, 4, false);
+        let sharded = StepModel::with_options(&d, &plan, &cost, &rates, sharded_opts(None));
+        assert_eq!(sharded.graph().stage_total(PipelineStage::FactorAllreduce), 0.0);
+        assert_eq!(dense.graph().stage_total(PipelineStage::FactorReduce), 0.0);
+        let rs = sharded.graph().stage_total(PipelineStage::FactorReduce);
+        let ar = dense.graph().stage_total(PipelineStage::FactorAllreduce);
+        assert!(rs > 0.0 && rs < ar, "reduce-scatter ({rs}) must undercut the allreduce ({ar})");
+        assert!(
+            sharded.pipelined_seconds() <= dense.pipelined_seconds() + 1e-15,
+            "sharded factor phase must not lengthen the modeled step"
+        );
+    }
+
+    #[test]
+    fn gather_tasks_appear_only_for_split_worker_layers() {
+        let d = dims();
+        let plan = plan_assignments(&d, 4, 0.5, AssignmentStrategy::ComputeLpt);
+        let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+        let rates = ComputeRates::default();
+        let no_gather = StepModel::with_options(&d, &plan, &cost, &rates, sharded_opts(None));
+        let mut with_gather = sharded_opts(None);
+        with_gather.gather = true;
+        let with_gather = StepModel::with_options(&d, &plan, &cost, &rates, with_gather);
+        assert_eq!(no_gather.graph().stage_total(PipelineStage::FactorGather), 0.0);
+        let split_layers = plan.layers.iter().filter(|a| a.a_worker != a.g_worker).count();
+        let gather_tasks = with_gather
+            .graph()
+            .tasks()
+            .iter()
+            .filter(|t| t.stage == PipelineStage::FactorGather)
+            .count();
+        assert_eq!(gather_tasks, split_layers, "one regather per split-worker layer");
+    }
+
+    #[test]
+    fn priority_order_is_a_permutation_sorted_by_chain() {
+        let m = model(8, 0.5, ClusterNetwork::ethernet_10g());
+        let order = m.priority_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..dims().len()).collect::<Vec<_>>());
+        let pri = m.layer_priorities();
+        for w in order.windows(2) {
+            assert!(pri[w[0]] <= pri[w[1]], "priorities must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn priority_issue_order_improves_comm_bound_makespan() {
+        let d = dims();
+        let plan = plan_assignments(&d, 8, 0.5, AssignmentStrategy::ComputeLpt);
+        let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+        let rates = ComputeRates::default();
+        let opts = StepModelOptions::dense(4, false);
+        let fixed = StepModel::with_options(&d, &plan, &cost, &rates, opts);
+        let order = priority_sweep_order(&d, &plan, &cost, &rates, opts);
+        let prioritized = StepModel::with_options(
+            &d,
+            &plan,
+            &cost,
+            &rates,
+            StepModelOptions { order: Some(&order), ..opts },
+        );
+        // Same task multiset either way: identical serial walk.
+        assert!((prioritized.serial_seconds() - fixed.serial_seconds()).abs() < 1e-12);
+        assert!(
+            prioritized.pipelined_seconds() < fixed.pipelined_seconds(),
+            "priority order must strictly improve this comm-bound config: {} vs {}",
+            prioritized.pipelined_seconds(),
+            fixed.pipelined_seconds()
+        );
+    }
+
+    #[test]
+    fn priority_sweep_order_never_models_worse_than_fixed() {
+        let d = dims();
+        let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+        let rates = ComputeRates::default();
+        for world in [2, 4, 8] {
+            for frac in [1.0 / world as f64, 0.5, 1.0] {
+                let plan = plan_assignments(&d, world, frac, AssignmentStrategy::ComputeLpt);
+                for sharded in [false, true] {
+                    let opts = StepModelOptions {
+                        elem_bytes: 4,
+                        triangular: false,
+                        sharded,
+                        gather: false,
+                        order: None,
+                    };
+                    let fixed =
+                        StepModel::with_options(&d, &plan, &cost, &rates, opts).pipelined_seconds();
+                    let order = priority_sweep_order(&d, &plan, &cost, &rates, opts);
+                    let tuned = StepModel::with_options(
+                        &d,
+                        &plan,
+                        &cost,
+                        &rates,
+                        StepModelOptions { order: Some(&order), ..opts },
+                    )
+                    .pipelined_seconds();
+                    assert!(
+                        tuned <= fixed,
+                        "world={world} frac={frac} sharded={sharded}: {tuned} > {fixed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn non_permutation_issue_order_is_rejected() {
+        let d = dims();
+        let plan = plan_assignments(&d, 2, 1.0, AssignmentStrategy::ComputeLpt);
+        let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+        let bad = vec![0usize, 0, 1, 2, 3];
+        let _ = StepModel::with_options(
+            &d,
+            &plan,
+            &cost,
+            &ComputeRates::default(),
+            StepModelOptions {
+                elem_bytes: 4,
+                triangular: false,
+                sharded: false,
+                gather: false,
+                order: Some(&bad),
+            },
+        );
     }
 
     #[test]

@@ -17,14 +17,16 @@
 //! 4. **Scaling** (every step): KL-clip scaling `ν = min(1, √(κ/Σ⟨p,g⟩lr²))`
 //!    and write-back into the model's gradients.
 
-use kaisa_comm::{CommTag, Communicator, ReduceOp};
+use kaisa_comm::{ClusterNetwork, CollectiveCostModel, CommTag, Communicator, ReduceOp, ShardSpec};
 use kaisa_nn::Model;
 use kaisa_tensor::Matrix;
 
-use crate::assignment::{plan_assignments, WorkPlan};
+use crate::assignment::{plan_assignments, LayerAssignment, WorkPlan};
 use crate::config::KfacConfig;
+use crate::pipeline::{priority_sweep_order, ComputeRates, StepModelOptions};
 use crate::state::{
-    factor_payload_len, pack_factor_payload, unpack_factor_payload, KfacLayerState,
+    factor_payload_len, pack_factor_payload, unpack_factor_payload, unpack_factor_section,
+    KfacLayerState,
 };
 use crate::timing::{Stage, StageTimes};
 use crate::DistStrategy;
@@ -56,9 +58,16 @@ pub struct Kfac {
     /// Logical K-FAC communication bytes attributed to this rank at the
     /// configured storage precision: allreduce payloads count once per
     /// participant; broadcast traffic (`payload x receivers`) is attributed
-    /// to the root. The live `kaisa-comm` meter separately counts physical
-    /// `f32` buffers per collective.
+    /// to the root; sharded factor reductions count the bytes a rank
+    /// *receives* (its owned shard, plus any regathered sections). The live
+    /// `kaisa-comm` meter separately counts physical `f32` buffers per
+    /// collective.
     pub(crate) comm_bytes: u64,
+    /// The order the pipelined executor's sweeps iterate layers: identity by
+    /// default; the `StepModel`-searched priority order when
+    /// `priority_schedule` is on. Identical on every rank (a pure function
+    /// of dims + plan), so reordering keeps per-group collective matching.
+    pub(crate) sweep_order: Vec<usize>,
 }
 
 impl Kfac {
@@ -79,6 +88,29 @@ impl Kfac {
             .zip(&names)
             .map(|(&(a, g), name)| KfacLayerState::new(name.clone(), a, g))
             .collect();
+        let sweep_order: Vec<usize> = if cfg.priority_schedule {
+            // Search for the issue order with the best modeled makespan on
+            // the comm-bound reference network, starting from the fixed
+            // order so the result never models worse than it. Only the
+            // *ordering* matters, and it is a pure function of dims + plan,
+            // so every rank agrees.
+            let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+            priority_sweep_order(
+                &dims,
+                &plan,
+                &cost,
+                &ComputeRates::default(),
+                StepModelOptions {
+                    elem_bytes: cfg.precision.bytes_per_element(),
+                    triangular: cfg.triangular_comm,
+                    sharded: cfg.sharded_factors,
+                    gather: !cfg.use_eigen,
+                    order: None,
+                },
+            )
+        } else {
+            (0..dims.len()).collect()
+        };
         let kfac = Kfac {
             cfg,
             plan,
@@ -88,6 +120,7 @@ impl Kfac {
             steps: 0,
             times: StageTimes::new(),
             comm_bytes: 0,
+            sweep_order,
         };
         // Step 0 updates factors, so the very first forward must capture.
         model.set_kfac_capture(true);
@@ -117,6 +150,12 @@ impl Kfac {
     /// Logical K-FAC communication bytes at the configured precision.
     pub fn comm_bytes(&self) -> u64 {
         self.comm_bytes
+    }
+
+    /// The layer order the pipelined executor's sweeps iterate (identity
+    /// unless `priority_schedule` is on).
+    pub fn sweep_order(&self) -> &[usize] {
+        &self.sweep_order
     }
 
     /// This rank's K-FAC memory overhead in bytes (factors + cached
@@ -155,7 +194,11 @@ impl Kfac {
 
         if self.cfg.pipelined {
             if factor_step {
-                self.update_factors_pipelined(&mut layers, comm);
+                if self.cfg.sharded_factors {
+                    self.update_factors_sharded_pipelined(&mut layers, comm);
+                } else {
+                    self.update_factors_pipelined(&mut layers, comm);
+                }
             }
             if inv_step {
                 self.update_decompositions_pipelined(comm);
@@ -163,7 +206,11 @@ impl Kfac {
             self.precondition_and_scale_pipelined(&mut layers, comm, lr);
         } else {
             if factor_step {
-                self.update_factors(&mut layers, comm);
+                if self.cfg.sharded_factors {
+                    self.update_factors_sharded(&mut layers, comm);
+                } else {
+                    self.update_factors(&mut layers, comm);
+                }
             }
             if inv_step {
                 self.update_decompositions(comm);
@@ -217,6 +264,152 @@ impl Kfac {
                 self.states[i].update_factors(a_new, g_new, decay);
             });
         }
+    }
+
+    /// Stage 1 (serial executor, sharded): finalize statistics, then
+    /// reduce-scatter each layer's packed payload so the `A` section lands
+    /// only on the layer's A-eigendecomposition worker and the `G` section
+    /// on its G-worker. Non-workers never rematerialize (or store) the
+    /// averaged factors. The direct-inverse fallback additionally regathers
+    /// the payload within the (≤2-rank) eigendecomposition worker group,
+    /// because its solver consumes both factors on one rank.
+    fn update_factors_sharded(
+        &mut self,
+        layers: &mut [&mut dyn kaisa_nn::KfacAble],
+        comm: &dyn Communicator,
+    ) {
+        let precision = self.cfg.precision;
+        let triangular = self.cfg.triangular_comm;
+        let rank = self.rank;
+        let world_group: Vec<usize> = (0..self.world).collect();
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                panic!(
+                    "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                    layer.layer_name()
+                )
+            });
+            let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+                let inv = 1.0 / stats.batches.max(1) as f32;
+                let mut a = stats.a_stat;
+                a.scale(inv);
+                let mut g = stats.g_stat;
+                g.scale(inv);
+                (a, g)
+            });
+
+            let asn = self.plan.layers[i].clone();
+            let (owned, split, total) = self.times.time_layer(i, Stage::FactorComm, || {
+                let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
+                let total = buf.len();
+                let shards = factor_shards(&asn, split, total);
+                let pending = comm.begin_reduce_scatter(
+                    &buf,
+                    ReduceOp::Avg,
+                    &world_group,
+                    &shards,
+                    CommTag::FactorReduce,
+                );
+                let owned_len: usize =
+                    shards.iter().filter(|s| s.owner == rank).map(|s| s.len).sum();
+                let mut owned = vec![0.0f32; owned_len];
+                comm.complete(pending, &mut owned);
+                (owned, split, total)
+            });
+            self.comm_bytes += (owned.len() * precision.bytes_per_element()) as u64;
+
+            if self.needs_factor_gather(&asn) {
+                let group = asn.eig_worker_group();
+                if group.contains(&rank) {
+                    let mut gathered = vec![0.0f32; total];
+                    let pending = self.times.time_layer(i, Stage::FactorComm, || {
+                        comm.begin_allgather(&owned, &group, CommTag::FactorGather)
+                    });
+                    self.times
+                        .time_layer(i, Stage::FactorComm, || comm.complete(pending, &mut gathered));
+                    self.comm_bytes +=
+                        ((total - owned.len()) * precision.bytes_per_element()) as u64;
+                    let payload = reassemble_gathered_payload(&asn, &gathered, split);
+                    self.fold_gathered_payload(i, payload, split);
+                }
+            } else {
+                self.fold_owned_sections(i, owned, split, total);
+            }
+        }
+    }
+
+    /// True when the sharded path must regather the averaged payload within
+    /// the layer's eigendecomposition worker group: the direct-inverse
+    /// fallback computes both inverses on the A worker, which therefore needs
+    /// the `G` section its reduce-scatter shard does not carry.
+    pub(crate) fn needs_factor_gather(&self, asn: &LayerAssignment) -> bool {
+        !self.cfg.use_eigen && asn.a_worker != asn.g_worker
+    }
+
+    /// Fold a rank's owned shard sections into its running factors (the
+    /// gather-free sharded fold): the A worker folds the `A` section, the G
+    /// worker the `G` section; a rank owning both folds both. Section-wise
+    /// quantization is elementwise, so this is bitwise identical to the
+    /// dense path's whole-payload unpack-and-fold.
+    pub(crate) fn fold_owned_sections(
+        &mut self,
+        i: usize,
+        mut owned: Vec<f32>,
+        split: usize,
+        total: usize,
+    ) {
+        let asn = self.plan.layers[i].clone();
+        let decay = self.cfg.factor_decay;
+        let precision = self.cfg.precision;
+        let triangular = self.cfg.triangular_comm;
+        let rank = self.rank;
+        let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
+        debug_assert!(owned.is_empty() || rank == asn.a_worker || rank == asn.g_worker);
+        if rank == asn.a_worker {
+            let a_new = self.times.time_layer(i, Stage::FactorCompute, || {
+                unpack_factor_section(&mut owned[..split], a_dim, triangular, precision)
+            });
+            self.times.time_layer(i, Stage::FactorCompute, || {
+                self.states[i].update_factor_a(a_new, decay)
+            });
+        }
+        if rank == asn.g_worker {
+            // The G section follows the A section only when this rank owns
+            // both shards; a G-only owner holds just its own section.
+            let offset = if asn.a_worker == asn.g_worker { split } else { 0 };
+            let g_len = total - split;
+            let g_new = self.times.time_layer(i, Stage::FactorCompute, || {
+                unpack_factor_section(
+                    &mut owned[offset..offset + g_len],
+                    g_dim,
+                    triangular,
+                    precision,
+                )
+            });
+            self.times.time_layer(i, Stage::FactorCompute, || {
+                self.states[i].update_factor_g(g_new, decay)
+            });
+        }
+    }
+
+    /// Fold a regathered full payload on the A worker (the direct-inverse
+    /// fallback's fold — it alone runs `compute_inverses`, which consumes
+    /// both factors).
+    pub(crate) fn fold_gathered_payload(&mut self, i: usize, mut payload: Vec<f32>, split: usize) {
+        let asn = self.plan.layers[i].clone();
+        if self.rank != asn.a_worker {
+            return;
+        }
+        let decay = self.cfg.factor_decay;
+        let precision = self.cfg.precision;
+        let triangular = self.cfg.triangular_comm;
+        let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
+        let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+            unpack_factor_payload(&mut payload, split, a_dim, g_dim, triangular, precision)
+        });
+        self.times.time_layer(i, Stage::FactorCompute, || {
+            self.states[i].update_factors(a_new, g_new, decay)
+        });
     }
 
     /// Stage 2: recompute decompositions on assigned workers and broadcast.
@@ -503,6 +696,38 @@ impl Kfac {
                 layer.set_combined_grad(&p);
             }
         });
+    }
+}
+
+/// The two-shard ownership spec of one layer's packed factor payload: the
+/// `A` section `[0, split)` belongs to the layer's A-eigendecomposition
+/// worker, the `G` section `[split, total)` to its G-worker (one rank may
+/// own both).
+pub(crate) fn factor_shards(asn: &LayerAssignment, split: usize, total: usize) -> [ShardSpec; 2] {
+    [
+        ShardSpec { owner: asn.a_worker, start: 0, len: split },
+        ShardSpec { owner: asn.g_worker, start: split, len: total - split },
+    ]
+}
+
+/// Reorder a worker-group allgather result back into payload order. The
+/// gather concatenates sections in *group rank order* (ascending rank), so
+/// when the G worker's rank precedes the A worker's, the `G` section arrives
+/// first and must be swapped behind the `A` section.
+pub(crate) fn reassemble_gathered_payload(
+    asn: &LayerAssignment,
+    gathered: &[f32],
+    split: usize,
+) -> Vec<f32> {
+    debug_assert_ne!(asn.a_worker, asn.g_worker, "co-located workers never gather");
+    if asn.a_worker < asn.g_worker {
+        gathered.to_vec()
+    } else {
+        let g_len = gathered.len() - split;
+        let mut payload = Vec::with_capacity(gathered.len());
+        payload.extend_from_slice(&gathered[g_len..]);
+        payload.extend_from_slice(&gathered[..g_len]);
+        payload
     }
 }
 

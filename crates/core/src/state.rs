@@ -66,13 +66,32 @@ pub fn factor_payload_len(a_rows: usize, g_rows: usize, triangular: bool) -> usi
     }
 }
 
+/// Rebuild one factor matrix from its section of a sharded payload (the
+/// `FactorReduce` *complete* task body on a shard owner). Quantization is
+/// elementwise, so re-quantizing a section alone is bitwise identical to the
+/// dense path's whole-payload [`unpack_factor_payload`].
+pub fn unpack_factor_section(
+    section: &mut [f32],
+    rows: usize,
+    triangular: bool,
+    precision: Precision,
+) -> Matrix {
+    quantize_slice(section, precision);
+    if triangular {
+        unpack_upper(section, rows)
+    } else {
+        Matrix::from_vec(rows, rows, section.to_vec())
+    }
+}
+
 /// Running Kronecker-factor state and decomposition caches for one layer.
 ///
 /// Which fields are populated on a given rank depends on the distribution
-/// plan: factors `A`/`G` live on every rank (they are allreduced), while the
-/// eigendecomposition caches live only on that layer's gradient workers —
-/// this is exactly the memory/communication knob Figure 6 of the paper
-/// measures.
+/// plan: under the dense path, factors `A`/`G` live on every rank (they are
+/// allreduced); under sharded reduction (`KfacConfig::sharded_factors`),
+/// only on the rank that eigendecomposes them. The eigendecomposition
+/// caches live only on that layer's gradient workers — this is exactly the
+/// memory/communication knob Figure 6 of the paper measures.
 #[derive(Debug, Clone)]
 pub struct KfacLayerState {
     /// Layer name (diagnostics).
@@ -131,12 +150,23 @@ impl KfacLayerState {
     /// Fold freshly-averaged batch factors into the running averages:
     /// `A ← decay·A + (1-decay)·Â` (first update sets `A = Â`).
     pub fn update_factors(&mut self, a_new: Matrix, g_new: Matrix, decay: f32) {
+        self.update_factor_a(a_new, decay);
+        self.update_factor_g(g_new, decay);
+    }
+
+    /// Fold only the `A` running average (sharded reduction: each factor is
+    /// folded on its owning eigendecomposition worker alone).
+    pub fn update_factor_a(&mut self, a_new: Matrix, decay: f32) {
         debug_assert_eq!(a_new.shape(), (self.a_dim, self.a_dim));
-        debug_assert_eq!(g_new.shape(), (self.g_dim, self.g_dim));
         match &mut self.factor_a {
             Some(a) => a.axpby(1.0 - decay, &a_new, decay),
             None => self.factor_a = Some(a_new),
         }
+    }
+
+    /// Fold only the `G` running average.
+    pub fn update_factor_g(&mut self, g_new: Matrix, decay: f32) {
+        debug_assert_eq!(g_new.shape(), (self.g_dim, self.g_dim));
         match &mut self.factor_g {
             Some(g) => g.axpby(1.0 - decay, &g_new, decay),
             None => self.factor_g = Some(g_new),

@@ -137,9 +137,16 @@ fn meter_attributes_every_byte_to_an_issuing_stage() {
             0,
             "rank {rank}: stage attribution must be exhaustive"
         );
+        assert_eq!(
+            meter.tag_bytes(CommTag::FactorReduce) + meter.tag_bytes(CommTag::FactorGather),
+            0,
+            "rank {rank}: dense path must not emit sharded-path tags"
+        );
         let tagged: u64 = [
             CommTag::Ddp,
             CommTag::FactorComm,
+            CommTag::FactorReduce,
+            CommTag::FactorGather,
             CommTag::EigComm,
             CommTag::GradComm,
             CommTag::Untagged,
@@ -159,6 +166,154 @@ fn meter_attributes_every_byte_to_an_issuing_stage() {
                 p.3.tag_bytes(tag),
                 "rank {rank}: {tag:?} bytes differ between executors"
             );
+        }
+    }
+}
+
+/// Assert two runs trained identically (params + preconditioned grads) on
+/// every rank, *without* comparing logical comm bytes or meters — the
+/// sharded path moves different bytes than the dense reference by design.
+fn assert_numerics_equal(
+    reference: &[(Vec<f32>, Vec<f32>, u64, MeterSnapshot)],
+    candidate: &[(Vec<f32>, Vec<f32>, u64, MeterSnapshot)],
+    ctx: &str,
+) {
+    assert_eq!(reference.len(), candidate.len());
+    for (rank, (r, c)) in reference.iter().zip(candidate).enumerate() {
+        assert_eq!(bits(&r.0), bits(&c.0), "{ctx}: rank {rank} params differ");
+        assert_eq!(bits(&r.1), bits(&c.1), "{ctx}: rank {rank} grads differ");
+    }
+}
+
+#[test]
+fn sharded_factors_match_dense_bitwise_across_strategies_and_worlds() {
+    // The tentpole contract: reduce-scatter + worker-group regather folds the
+    // exact same averaged factors as the dense allreduce, so training is
+    // bitwise identical across MEM-OPT / HYBRID-OPT / COMM-OPT.
+    for world in [1usize, 2, 4, 8] {
+        for frac in [1.0 / world as f64, 0.5, 1.0] {
+            for pipelined in [false, true] {
+                let dense = train(world, 10, 83, |b| {
+                    b.grad_worker_frac(frac).pipelined(pipelined).sharded_factors(false)
+                });
+                let sharded = train(world, 10, 83, |b| {
+                    b.grad_worker_frac(frac).pipelined(pipelined).sharded_factors(true)
+                });
+                let ctx = format!("world={world} frac={frac} pipelined={pipelined}");
+                assert_numerics_equal(&dense, &sharded, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_factors_match_dense_with_fp16_and_triangular_comm() {
+    // Elementwise quantization + section packing keep the sharded unpack
+    // bitwise equal to the dense whole-payload unpack in every layout.
+    for (precision, triangular) in
+        [(Precision::Fp16, false), (Precision::Fp32, true), (Precision::Fp16, true)]
+    {
+        let mk = |sharded: bool| {
+            train(4, 8, 89, move |b| {
+                b.grad_worker_frac(0.5)
+                    .precision(precision)
+                    .triangular_comm(triangular)
+                    .pipelined(true)
+                    .sharded_factors(sharded)
+            })
+        };
+        let ctx = format!("precision={precision:?} triangular={triangular}");
+        assert_numerics_equal(&mk(false), &mk(true), &ctx);
+    }
+}
+
+#[test]
+fn sharded_serial_and_pipelined_are_bitwise_identical() {
+    // Within the sharded path the two executors issue identical collectives,
+    // so everything — including logical comm bytes — must match.
+    for world in [2usize, 4] {
+        let serial = train(world, 10, 97, |b| {
+            b.grad_worker_frac(0.5).pipelined(false).sharded_factors(true)
+        });
+        let pipelined =
+            train(world, 10, 97, |b| b.grad_worker_frac(0.5).pipelined(true).sharded_factors(true));
+        assert_bitwise_equal(&serial, &pipelined, &format!("sharded world={world}"));
+    }
+}
+
+#[test]
+fn sharded_inverse_fallback_regathers_split_factors() {
+    // With use_eigen(false) the direct-inverse solver consumes both factors
+    // on one rank, so layers whose A/G shards landed on different workers
+    // must regather — and the result still matches the dense fallback.
+    let dense = train(4, 8, 101, |b| {
+        b.grad_worker_frac(0.5).use_eigen(false).pipelined(true).sharded_factors(false)
+    });
+    let sharded = train(4, 8, 101, |b| {
+        b.grad_worker_frac(0.5).use_eigen(false).pipelined(true).sharded_factors(true)
+    });
+    assert_numerics_equal(&dense, &sharded, "inverse fallback");
+    let gather_bytes: u64 =
+        sharded.iter().map(|(_, _, _, m)| m.tag_bytes(CommTag::FactorGather)).sum();
+    assert!(gather_bytes > 0, "split-worker layers must regather under the inverse fallback");
+    let eigen_path =
+        train(4, 8, 101, |b| b.grad_worker_frac(0.5).pipelined(true).sharded_factors(true));
+    let eigen_gather: u64 =
+        eigen_path.iter().map(|(_, _, _, m)| m.tag_bytes(CommTag::FactorGather)).sum();
+    assert_eq!(eigen_gather, 0, "the eigen path folds shards in place and never regathers");
+}
+
+#[test]
+fn sharded_factors_cut_metered_factor_bytes_at_world_8() {
+    // The acceptance bound: at world 8, per-rank metered factor traffic on
+    // the sharded path must drop >= 40% vs the dense allreduce.
+    let dense = train(8, 10, 103, |b| b.grad_worker_frac(0.5).pipelined(true));
+    let sharded =
+        train(8, 10, 103, |b| b.grad_worker_frac(0.5).pipelined(true).sharded_factors(true));
+    for (rank, (d, s)) in dense.iter().zip(&sharded).enumerate() {
+        let dense_factor = d.3.tag_bytes(CommTag::FactorComm);
+        let sharded_factor =
+            s.3.tag_bytes(CommTag::FactorReduce) + s.3.tag_bytes(CommTag::FactorGather);
+        assert!(dense_factor > 0, "rank {rank}: dense factor traffic missing");
+        assert!(
+            (sharded_factor as f64) <= 0.6 * dense_factor as f64,
+            "rank {rank}: sharded factor bytes {sharded_factor} not >=40% below dense {dense_factor}"
+        );
+        assert_eq!(
+            s.3.tag_bytes(CommTag::FactorComm),
+            0,
+            "rank {rank}: sharded path must not fall back to the dense allreduce"
+        );
+    }
+}
+
+#[test]
+fn priority_schedule_never_changes_numerics() {
+    // Reordering sweep issue order keeps every collective's group and
+    // payload, so training — including logical comm bytes — is bitwise
+    // unchanged in both the dense and sharded paths.
+    for world in [4usize, 8] {
+        for sharded in [false, true] {
+            let fixed = train(world, 10, 107, |b| {
+                b.grad_worker_frac(0.5).pipelined(true).sharded_factors(sharded)
+            });
+            let prioritized = train(world, 10, 107, |b| {
+                b.grad_worker_frac(0.5)
+                    .pipelined(true)
+                    .sharded_factors(sharded)
+                    .priority_schedule(true)
+            });
+            let ctx = format!("world={world} sharded={sharded}");
+            assert_bitwise_equal(&fixed, &prioritized, &ctx);
+            for (rank, (f, p)) in fixed.iter().zip(&prioritized).enumerate() {
+                for tag in CommTag::ALL {
+                    assert_eq!(
+                        f.3.tag_bytes(tag),
+                        p.3.tag_bytes(tag),
+                        "{ctx}: rank {rank} {tag:?} bytes changed under priority schedule"
+                    );
+                }
+            }
         }
     }
 }
@@ -207,12 +362,13 @@ proptest! {
         frac in 0.2f64..1.0,
         steps in 3usize..8,
         seed in 100u64..200,
+        sharded in any::<bool>(),
     ) {
         let serial = train(world, steps, seed, |b| {
-            b.grad_worker_frac(frac).pipelined(false)
+            b.grad_worker_frac(frac).pipelined(false).sharded_factors(sharded)
         });
         let pipelined = train(world, steps, seed, |b| {
-            b.grad_worker_frac(frac).pipelined(true)
+            b.grad_worker_frac(frac).pipelined(true).sharded_factors(sharded)
         });
         for (rank, (s, p)) in serial.iter().zip(&pipelined).enumerate() {
             prop_assert_eq!(bits(&s.0), bits(&p.0), "rank {} params", rank);
