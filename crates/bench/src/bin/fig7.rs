@@ -12,8 +12,8 @@ use kaisa_comm::{
     ClusterNetwork, CollectiveCostModel, CommTag, Communicator, MeterSnapshot, ThreadComm,
 };
 use kaisa_core::{
-    plan_assignments, priority_sweep_order, AssignmentStrategy, ComputeRates, Kfac, KfacConfig,
-    StepModel, StepModelOptions, KFAC_STAGES,
+    modeled_cross_iter_makespans, plan_assignments, priority_sweep_order, AssignmentStrategy,
+    ComputeRates, Kfac, KfacConfig, StepModel, StepModelOptions, KFAC_STAGES,
 };
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
@@ -60,7 +60,7 @@ struct LiveRun {
     meter: MeterSnapshot,
 }
 
-fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool) -> LiveRun {
+fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool, runtime: bool) -> LiveRun {
     let dataset = GaussianBlobs::generate(512, 32, 4, 0.4, 130);
     let mut results = ThreadComm::run(world, |comm| {
         let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
@@ -70,6 +70,7 @@ fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool) -> LiveRun 
             .inv_update_freq(10)
             .pipelined(pipelined)
             .sharded_factors(sharded)
+            .async_runtime(runtime)
             .build();
         let mut kfac = Kfac::new(cfg, &mut model, comm);
         let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
@@ -102,18 +103,23 @@ fn live() {
     let fracs = [1.0 / 8.0, 0.5, 1.0];
     let mut stage_table: Vec<Vec<String>> =
         KFAC_STAGES.iter().map(|s| vec![s.to_string()]).collect();
-    let mut totals: Vec<Vec<String>> =
-        vec![vec!["serial".to_string()], vec!["pipelined".to_string()]];
+    let mut totals: Vec<Vec<String>> = vec![
+        vec!["serial".to_string()],
+        vec!["pipelined".to_string()],
+        vec!["runtime".to_string()],
+    ];
     let mut sample: Option<LiveRun> = None;
     for &frac in &fracs {
-        let serial = run_live(world, frac, false, false);
-        let pipelined = run_live(world, frac, true, false);
+        let serial = run_live(world, frac, false, false, false);
+        let pipelined = run_live(world, frac, true, false, false);
+        let runtime = run_live(world, frac, false, false, true);
         for (row, avg) in stage_table.iter_mut().zip(pipelined.averages) {
             row.push(format!("{:.3}", avg * 1e3));
         }
         totals[0].push(format!("{:.3}", serial.kfac_seconds / serial.steps.max(1) as f64 * 1e3));
         totals[1]
             .push(format!("{:.3}", pipelined.kfac_seconds / pipelined.steps.max(1) as f64 * 1e3));
+        totals[2].push(format!("{:.3}", runtime.kfac_seconds / runtime.steps.max(1) as f64 * 1e3));
         if (frac - 0.5).abs() < 1e-12 {
             sample = Some(pipelined);
         }
@@ -166,7 +172,7 @@ fn resnet_mini_dims() -> Vec<(usize, usize)> {
 }
 
 fn cost_model() {
-    println!("== α–β cost model: serial vs pipelined step makespan (world 8) ==\n");
+    println!("== α–β cost model: serial vs pipelined vs runtime step makespan (world 8) ==\n");
     let dims = resnet_mini_dims();
     let world = 8;
     let mut rows = Vec::new();
@@ -183,14 +189,41 @@ fn cost_model() {
                 name.to_string(),
                 format!("{:.3}", m.serial_seconds() * 1e3),
                 format!("{:.3}", m.pipelined_seconds() * 1e3),
+                format!("{:.3}", m.runtime_seconds() * 1e3),
                 format!("{:.2}x", m.overlap_speedup()),
             ]);
         }
     }
     println!(
         "{}",
-        render_table(&["frac", "network", "serial ms", "pipelined ms", "speedup"], &rows)
+        render_table(
+            &["frac", "network", "serial ms", "pipelined ms", "runtime ms", "speedup"],
+            &rows
+        )
     );
+
+    println!("== Cross-iteration window: two-iteration makespan, pipelined vs runtime ==\n");
+    let mut rows = Vec::new();
+    for world in [4usize, 8] {
+        for (name, net) in [
+            ("10GbE", ClusterNetwork::ethernet_10g()),
+            ("IB-EDR", ClusterNetwork::infiniband_edr()),
+        ] {
+            let (pipelined, runtime) = modeled_cross_iter_makespans(&dims, world, net, 32);
+            rows.push(vec![
+                format!("{world}"),
+                name.to_string(),
+                format!("{:.3}", pipelined * 1e3),
+                format!("{:.3}", runtime * 1e3),
+                format!("{:.1}%", 100.0 * (1.0 - runtime / pipelined)),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["world", "network", "pipelined ms", "runtime ms", "saved"], &rows)
+    );
+    println!("(the runtime window hoists iteration-0 factor comm past the scale barrier into iteration-1's forward/backward)\n");
 }
 
 fn sharded() {
@@ -199,8 +232,8 @@ fn sharded() {
     // meter is shared across thread ranks).
     let mut rows = Vec::new();
     for world in [4usize, 8] {
-        let dense = run_live(world, 0.5, true, false);
-        let shard = run_live(world, 0.5, true, true);
+        let dense = run_live(world, 0.5, true, false, false);
+        let shard = run_live(world, 0.5, true, true, false);
         let dense_bytes = dense.meter.tag_bytes(CommTag::FactorComm);
         let shard_bytes = shard.meter.tag_bytes(CommTag::FactorReduce)
             + shard.meter.tag_bytes(CommTag::FactorGather);

@@ -317,6 +317,19 @@ impl Communicator for ThreadComm {
         }
     }
 
+    fn poll_ready(&self, pending: &PendingCollective) -> bool {
+        if pending.is_eager() {
+            return true;
+        }
+        let ticket = pending.ticket().expect("non-eager handle carries a ticket");
+        // Slot absent ⇒ not ready: a slot cannot be retired before *this*
+        // rank contributes its `done` in `complete`, so absence here means
+        // no participant has begun the collective yet (a broadcast receiver
+        // polling before the root posts).
+        let slots = self.core.slots.lock().unwrap();
+        slots.get(&ticket.key).is_some_and(|slot| slot.ready)
+    }
+
     fn allgather(&self, send: &[f32]) -> Vec<f32> {
         let group = self.world_group();
         let p = group.len();
@@ -788,6 +801,84 @@ mod pending_tests {
             (pair_out[0], world_out[0])
         });
         assert_eq!(results, vec![(3.0, 10.0), (3.0, 10.0), (7.0, 10.0), (7.0, 10.0)]);
+    }
+
+    #[test]
+    fn poll_ready_reflects_rendezvous_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let begun = AtomicUsize::new(0);
+        ThreadComm::run(2, |comm| {
+            let buf = vec![comm.rank() as f32; 4];
+            if comm.rank() == 0 {
+                let pending =
+                    comm.begin_allreduce(&buf, ReduceOp::Sum, &[0, 1], CommTag::FactorComm);
+                // Only rank 0 has begun: the collective cannot be ready.
+                assert!(!comm.poll_ready(&pending));
+                begun.store(1, Ordering::SeqCst);
+                // Wait (outside the rendezvous) for rank 1 to contribute,
+                // then the poll must flip to ready without completing.
+                while begun.load(Ordering::SeqCst) != 2 {
+                    std::thread::yield_now();
+                }
+                assert!(comm.poll_ready(&pending));
+                let mut out = vec![0.0f32; 4];
+                comm.complete(pending, &mut out);
+                assert_eq!(out, vec![1.0; 4]);
+            } else {
+                while begun.load(Ordering::SeqCst) != 1 {
+                    std::thread::yield_now();
+                }
+                let pending =
+                    comm.begin_allreduce(&buf, ReduceOp::Sum, &[0, 1], CommTag::FactorComm);
+                // Both contributions are in: ready on the late arriver too.
+                assert!(comm.poll_ready(&pending));
+                begun.store(2, Ordering::SeqCst);
+                let mut out = vec![0.0f32; 4];
+                comm.complete(pending, &mut out);
+                assert_eq!(out, vec![1.0; 4]);
+            }
+        });
+    }
+
+    #[test]
+    fn poll_ready_eager_handles_are_always_ready() {
+        ThreadComm::run(1, |comm| {
+            let pending = comm.begin_allreduce(&[1.0], ReduceOp::Sum, &[0], CommTag::Untagged);
+            assert!(comm.poll_ready(&pending));
+            let mut out = vec![0.0f32];
+            comm.complete(pending, &mut out);
+            let noop = PendingCollective::noop(CommTag::Untagged);
+            assert!(comm.poll_ready(&noop));
+            comm.complete(noop, &mut []);
+        });
+    }
+
+    #[test]
+    fn poll_ready_broadcast_receiver_waits_for_root() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let stage = AtomicUsize::new(0);
+        ThreadComm::run(2, |comm| {
+            if comm.rank() == 1 {
+                // Receiver begins first: slot not yet posted by the root.
+                let pending = comm.begin_broadcast(&[0.0, 0.0], 0, &[0, 1], CommTag::EigComm);
+                assert!(!comm.poll_ready(&pending));
+                stage.store(1, Ordering::SeqCst);
+                while stage.load(Ordering::SeqCst) != 2 {
+                    std::thread::yield_now();
+                }
+                assert!(comm.poll_ready(&pending));
+                let mut out = vec![0.0f32; 2];
+                comm.complete(pending, &mut out);
+                assert_eq!(out, vec![5.0, 6.0]);
+            } else {
+                while stage.load(Ordering::SeqCst) != 1 {
+                    std::thread::yield_now();
+                }
+                let pending = comm.begin_broadcast(&[5.0, 6.0], 0, &[0, 1], CommTag::EigComm);
+                stage.store(2, Ordering::SeqCst);
+                comm.complete(pending, &mut [5.0, 6.0]);
+            }
+        });
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! K-FAC preconditioner configuration.
 
+use kaisa_comm::ClusterNetwork;
 use kaisa_tensor::Precision;
 
 use crate::AssignmentStrategy;
@@ -67,6 +68,27 @@ pub struct KfacConfig {
     /// payload, so numerics are bitwise unchanged. No effect on the serial
     /// executor.
     pub priority_schedule: bool,
+    /// Execute `step()` on the per-rank cooperative task runtime
+    /// (`crate::runtime`): stage work becomes polled task units on a
+    /// ready-queue scheduler, and a task whose collective is still in flight
+    /// *parks* — yielding the rank to any runnable task instead of blocking
+    /// inside `complete`. Collective begin order is pinned per group by
+    /// plan-time gates, so the runtime is bitwise identical to the serial
+    /// and sweep-pipelined executors (property-tested). Takes precedence
+    /// over `pipelined` when both are set.
+    pub async_runtime: bool,
+    /// α–β parameters of the network the job actually runs on, used to score
+    /// the `priority_schedule` makespan search and the runtime scheduler's
+    /// dispatch priorities. `None` falls back to the 10 GbE reference model.
+    /// Part of the config (identical on every rank) so all ranks derive the
+    /// same issue order — a per-rank measurement would break collective
+    /// matching.
+    pub network: Option<ClusterNetwork>,
+    /// Milliseconds a runtime rank may sit with no runnable task and no
+    /// collective progress before the stall watchdog dumps a per-rank
+    /// task-state diagnostic and panics (instead of hanging the process on
+    /// a mismatched collective).
+    pub runtime_stall_timeout_ms: u64,
 }
 
 impl Default for KfacConfig {
@@ -87,6 +109,9 @@ impl Default for KfacConfig {
             pipelined: true,
             sharded_factors: false,
             priority_schedule: false,
+            async_runtime: false,
+            network: None,
+            runtime_stall_timeout_ms: 5000,
         }
     }
 }
@@ -111,6 +136,7 @@ impl KfacConfig {
             self.inv_update_freq,
             self.factor_update_freq
         );
+        assert!(self.runtime_stall_timeout_ms > 0, "runtime_stall_timeout_ms must be positive");
     }
 }
 
@@ -211,6 +237,27 @@ impl KfacConfigBuilder {
     /// sweeps vs. fixed layer order.
     pub fn priority_schedule(mut self, on: bool) -> Self {
         self.cfg.priority_schedule = on;
+        self
+    }
+
+    /// Toggle the cooperative task runtime executor (parked collectives
+    /// yield the rank to runnable tasks) vs. sweep pipelining / serial.
+    pub fn async_runtime(mut self, on: bool) -> Self {
+        self.cfg.async_runtime = on;
+        self
+    }
+
+    /// Supply the α–β network parameters of the actual backend for the
+    /// priority search and runtime scheduler (must be identical on every
+    /// rank; defaults to the 10 GbE reference when unset).
+    pub fn network(mut self, network: ClusterNetwork) -> Self {
+        self.cfg.network = Some(network);
+        self
+    }
+
+    /// Set the runtime stall-watchdog timeout in milliseconds.
+    pub fn runtime_stall_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.runtime_stall_timeout_ms = ms;
         self
     }
 

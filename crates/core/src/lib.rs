@@ -41,15 +41,19 @@ mod assignment;
 mod config;
 pub mod pipeline;
 mod preconditioner;
+pub mod runtime;
 mod state;
 mod timing;
 
-pub use assignment::{plan_assignments, AssignmentStrategy, LayerAssignment, WorkPlan};
+pub use assignment::{
+    plan_assignments, plan_assignments_with, AssignmentStrategy, LayerAssignment, WorkPlan,
+};
 pub use config::{KfacConfig, KfacConfigBuilder};
 pub use pipeline::{
     priority_sweep_order, ComputeRates, PipelineStage, StepModel, StepModelOptions, TaskGraph,
 };
 pub use preconditioner::Kfac;
+pub use runtime::{modeled_cross_iter_makespans, CrossIterModel, CrossStage, OverlapMode};
 pub use state::KfacLayerState;
 pub use timing::{Stage, StageTimes, KFAC_STAGES};
 

@@ -36,17 +36,25 @@ pub(crate) struct MatBcast {
     m: Matrix,
 }
 
+impl MatBcast {
+    /// The in-flight handle, for readiness polling by the task runtime.
+    pub(crate) fn pending(&self) -> &PendingCollective {
+        &self.pending
+    }
+}
+
 /// All result broadcasts a layer has in flight between sweeps 2 and 3 of
-/// the eigendecomposition phase.
+/// the eigendecomposition phase (shared with the task runtime, whose
+/// eig-broadcast begin/complete tasks carry the same in-flight set).
 #[derive(Default)]
-struct LayerBcasts {
-    qa: Option<MatBcast>,
-    qg: Option<MatBcast>,
-    outer: Option<MatBcast>,
-    inv_a: Option<MatBcast>,
-    inv_g: Option<MatBcast>,
-    va_buf: Option<(PendingCollective, Vec<f32>)>,
-    vg_buf: Option<(PendingCollective, Vec<f32>)>,
+pub(crate) struct LayerBcasts {
+    pub(crate) qa: Option<MatBcast>,
+    pub(crate) qg: Option<MatBcast>,
+    pub(crate) outer: Option<MatBcast>,
+    pub(crate) inv_a: Option<MatBcast>,
+    pub(crate) inv_g: Option<MatBcast>,
+    pub(crate) va_buf: Option<(PendingCollective, Vec<f32>)>,
+    pub(crate) vg_buf: Option<(PendingCollective, Vec<f32>)>,
 }
 
 impl Kfac {

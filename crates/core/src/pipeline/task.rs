@@ -103,6 +103,48 @@ impl TaskGraph {
         makespan
     }
 
+    /// Ready-queue makespan: the task runtime's greedy dispatch. Instead of
+    /// walking tasks in issue order (a parked task at the head of the line
+    /// stalls everything behind it on the same resource), repeatedly run the
+    /// dependency-satisfied task that can *start earliest* — ties break
+    /// toward the lower issue index, mirroring the live scheduler's
+    /// id-ordered ready scan. O(n²), fine at per-step task counts.
+    pub fn ready_schedule_makespan(&self, world: usize) -> f64 {
+        let mut compute_free = vec![0.0f64; world];
+        let mut network_free = 0.0f64;
+        let n = self.tasks.len();
+        let mut finish = vec![0.0f64; n];
+        let mut done = vec![false; n];
+        let mut makespan = 0.0f64;
+        for _ in 0..n {
+            let mut pick: Option<(usize, f64)> = None;
+            for (id, task) in self.tasks.iter().enumerate() {
+                if done[id] || !task.deps.iter().all(|&d| done[d]) {
+                    continue;
+                }
+                let deps_done = task.deps.iter().map(|&d| finish[d]).fold(0.0f64, f64::max);
+                let free = match task.resource {
+                    Resource::Compute(r) => compute_free[r],
+                    Resource::Network => network_free,
+                };
+                let start = deps_done.max(free);
+                if pick.map_or(true, |(_, s)| start < s) {
+                    pick = Some((id, start));
+                }
+            }
+            let (id, start) = pick.expect("graph is acyclic: some task is always ready");
+            let end = start + self.tasks[id].duration;
+            match self.tasks[id].resource {
+                Resource::Compute(r) => compute_free[r] = end,
+                Resource::Network => network_free = end,
+            }
+            finish[id] = end;
+            done[id] = true;
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+
     /// Dependency-only critical path (infinite resources) — a lower bound on
     /// any schedule.
     pub fn critical_path(&self) -> f64 {
@@ -493,6 +535,16 @@ impl StepModel {
         self.serial_seconds() / self.pipelined_seconds().max(1e-18)
     }
 
+    /// Modeled seconds for the task-runtime executor: greedy ready-queue
+    /// dispatch, floored by the issue-order list schedule. Greedy
+    /// event-driven scheduling can suffer anomalies on adversarial graphs,
+    /// but the live runtime is free to fall back to pure issue order (its
+    /// gates pin exactly that order per group), so its makespan never
+    /// exceeds the pipelined executor's.
+    pub fn runtime_seconds(&self) -> f64 {
+        self.graph.ready_schedule_makespan(self.world).min(self.pipelined_seconds())
+    }
+
     /// Per-layer critical-chain duration: the sum of one layer's stage
     /// durations from statistics finalize through its gradient broadcast.
     /// This is the list-scheduling priority key for [`Self::priority_order`].
@@ -781,6 +833,57 @@ mod tests {
                 order: Some(&bad),
             },
         );
+    }
+
+    #[test]
+    fn runtime_never_exceeds_pipelined() {
+        for world in [1, 2, 4, 8] {
+            for frac in [1.0 / world as f64, 0.5, 1.0] {
+                for net in [ClusterNetwork::infiniband_edr(), ClusterNetwork::ethernet_10g()] {
+                    let m = model(world, frac, net);
+                    assert!(
+                        m.runtime_seconds() <= m.pipelined_seconds() + 1e-15,
+                        "world={world} frac={frac}: {} > {}",
+                        m.runtime_seconds(),
+                        m.pipelined_seconds()
+                    );
+                    assert!(m.graph().critical_path() <= m.runtime_seconds() + 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ready_schedule_beats_list_schedule_on_a_parked_head_of_line() {
+        // Issue order: long network op first, then a short independent
+        // compute task on rank 0 *behind* a compute task that depends on the
+        // network op. The list schedule walks in issue order, so the
+        // dependent task blocks rank 0 until the network finishes; the ready
+        // queue runs the independent task first.
+        let mut g = TaskGraph::new();
+        let net = g.push(Task {
+            layer: 0,
+            stage: PipelineStage::FactorAllreduce,
+            resource: Resource::Network,
+            duration: 10.0,
+            deps: vec![],
+        });
+        g.push(Task {
+            layer: 0,
+            stage: PipelineStage::FactorAccumulate,
+            resource: Resource::Compute(0),
+            duration: 1.0,
+            deps: vec![net],
+        });
+        g.push(Task {
+            layer: 1,
+            stage: PipelineStage::EigCompute,
+            resource: Resource::Compute(0),
+            duration: 5.0,
+            deps: vec![],
+        });
+        assert_eq!(g.list_schedule_makespan(1), 16.0);
+        assert_eq!(g.ready_schedule_makespan(1), 11.0);
     }
 
     #[test]

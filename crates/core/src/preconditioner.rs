@@ -21,7 +21,7 @@ use kaisa_comm::{ClusterNetwork, CollectiveCostModel, CommTag, Communicator, Red
 use kaisa_nn::Model;
 use kaisa_tensor::Matrix;
 
-use crate::assignment::{plan_assignments, LayerAssignment, WorkPlan};
+use crate::assignment::{plan_assignments_with, LayerAssignment, WorkPlan};
 use crate::config::KfacConfig;
 use crate::pipeline::{priority_sweep_order, ComputeRates, StepModelOptions};
 use crate::state::{
@@ -68,6 +68,9 @@ pub struct Kfac {
     /// `priority_schedule` is on. Identical on every rank (a pure function
     /// of dims + plan), so reordering keeps per-group collective matching.
     pub(crate) sweep_order: Vec<usize>,
+    /// The in-progress task-runtime step between `step_begin` and
+    /// `step_finish` (`async_runtime` only).
+    pub(crate) runtime_step: Option<crate::runtime::executor::RuntimeStep>,
 }
 
 impl Kfac {
@@ -82,7 +85,15 @@ impl Kfac {
             names.push(layer.layer_name().to_string());
         }
         assert!(!dims.is_empty(), "model exposes no K-FAC-preconditionable layers");
-        let plan = plan_assignments(&dims, comm.world_size(), cfg.grad_worker_frac, cfg.assignment);
+        // Sharded factor reduction pays extra traffic for split-worker
+        // layers, so bias LPT ties toward co-location when it is on.
+        let plan = plan_assignments_with(
+            &dims,
+            comm.world_size(),
+            cfg.grad_worker_frac,
+            cfg.assignment,
+            cfg.sharded_factors,
+        );
         let states = dims
             .iter()
             .zip(&names)
@@ -90,11 +101,13 @@ impl Kfac {
             .collect();
         let sweep_order: Vec<usize> = if cfg.priority_schedule {
             // Search for the issue order with the best modeled makespan on
-            // the comm-bound reference network, starting from the fixed
-            // order so the result never models worse than it. Only the
-            // *ordering* matters, and it is a pure function of dims + plan,
+            // the calibrated network (the 10 GbE comm-bound reference when
+            // none is configured), starting from the fixed order so the
+            // result never models worse than it. Only the *ordering*
+            // matters, and it is a pure function of dims + plan + config,
             // so every rank agrees.
-            let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+            let network = cfg.network.unwrap_or_else(ClusterNetwork::ethernet_10g);
+            let cost = CollectiveCostModel::new(network);
             priority_sweep_order(
                 &dims,
                 &plan,
@@ -121,6 +134,7 @@ impl Kfac {
             times: StageTimes::new(),
             comm_bytes: 0,
             sweep_order,
+            runtime_step: None,
         };
         // Step 0 updates factors, so the very first forward must capture.
         model.set_kfac_capture(true);
@@ -187,6 +201,15 @@ impl Kfac {
     /// `lr` is the learning rate the following optimizer step will use; it
     /// enters the KL-clip scaling factor.
     pub fn step<M: Model>(&mut self, model: &mut M, comm: &dyn Communicator, lr: f32) {
+        if self.cfg.async_runtime {
+            // Task-runtime executor (takes precedence over `pipelined`).
+            // The monolithic step is simply the lookahead split run
+            // back-to-back; `step_finish` advances the step counters.
+            self.step_begin(model, comm);
+            self.step_finish(model, comm, lr);
+            return;
+        }
+
         let factor_step = self.is_factor_update_step();
         let inv_step = self.is_inv_update_step();
         let mut layers = model.kfac_layers();

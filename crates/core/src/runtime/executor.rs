@@ -1,0 +1,906 @@
+//! The runtime executor: `Kfac::step` as a DAG of polled task units.
+//!
+//! Each phase of the K-FAC step decomposes into per-layer tasks (see
+//! [`TaskKind`]): a *begin* task packs data and initiates the phase's
+//! collective, a *complete* task polls its readiness, consumes the payload,
+//! and folds it into state, and pure-compute tasks (eigensolves,
+//! preconditioning) sit between them. The [`Scheduler`] runs these in data
+//! dependency order, parking complete-side tasks whose collectives are
+//! still in flight — so a rank blocked on one layer's allreduce keeps
+//! working on other layers, later phases, or (via the
+//! [`Kfac::step_begin`]/[`Kfac::step_finish`] split) the *next* iteration's
+//! factor-accumulation phase.
+//!
+//! Bitwise equivalence with the serial and sweep executors holds because:
+//!
+//! - every task reuses the *same* stage kernels and quantization points in
+//!   `crate::state` / `crate::preconditioner`,
+//! - collective begin order is pinned per group by plan-time gates in
+//!   canonical sweep order (the sweep executor's exact begin order), so the
+//!   rank-ordered reductions see identical operand sequences, and
+//! - the KL-clip scale runs as a single task in fixed serial layer order.
+
+use kaisa_comm::{CommTag, Communicator, PendingCollective, ReduceOp};
+use kaisa_nn::Model;
+use kaisa_tensor::Matrix;
+
+use crate::pipeline::executor::LayerBcasts;
+use crate::preconditioner::{factor_shards, reassemble_gathered_payload, Kfac};
+use crate::runtime::scheduler::{Scheduler, TaskPoll};
+use crate::state::{
+    factor_payload_len, pack_factor_payload, unpack_factor_payload, KfacLayerState,
+};
+use crate::timing::Stage;
+
+/// One schedulable unit of a K-FAC step, tagged with its layer index.
+enum TaskKind {
+    /// Finalize captured statistics, pack, and begin the factor allreduce
+    /// (dense) or reduce-scatter (sharded). Gated on the world group.
+    FactorBegin(usize),
+    /// Complete the dense allreduce, unpack, and fold the averages.
+    FactorDenseComplete(usize),
+    /// Complete the reduce-scatter shard; fold it, or stash it for the
+    /// direct-inverse fallback's regather.
+    FactorShardComplete(usize),
+    /// Begin the worker-group allgather that rematerializes the payload for
+    /// the direct-inverse fallback. Gated on the eig worker group.
+    FactorGatherBegin(usize),
+    /// Complete the regather and fold on the A worker.
+    FactorGatherComplete(usize),
+    /// Local eigensolves / direct inverses for this rank's roles.
+    EigSolve(usize),
+    /// Begin the `v_A` shuttle to the G worker. Gated on the worker pair.
+    EigPairBegin(usize),
+    /// Complete the `v_A` shuttle.
+    EigPairComplete(usize),
+    /// Compute the damped reciprocal outer product on the G worker.
+    EigOuter(usize),
+    /// Begin every eigendecomposition result broadcast for this layer.
+    /// Gated on the gradient-worker group.
+    EigBcastBegin(usize),
+    /// Complete the result broadcasts into the layer state.
+    EigBcastComplete(usize),
+    /// Precondition this layer's gradient locally.
+    Precond(usize),
+    /// Begin the preconditioned-gradient broadcast. Gated on the layer's
+    /// broadcast group.
+    GradBcastBegin(usize),
+    /// Complete the preconditioned-gradient broadcast.
+    GradBcastComplete(usize),
+    /// KL-clip scale and write-back, in fixed serial layer order.
+    Scale,
+}
+
+/// A factor collective in flight: the handle plus unpack metadata. `buf`
+/// is the dense allreduce's payload buffer (empty under sharding, where the
+/// complete side allocates its own shard buffer).
+struct FactorInFlight {
+    pending: PendingCollective,
+    buf: Vec<f32>,
+    split: usize,
+    total: usize,
+}
+
+/// Mutable task-local state threaded between a step's tasks.
+struct StepCtx {
+    factor: Vec<Option<FactorInFlight>>,
+    /// Per-layer `(split, total)` payload geometry, recorded by the sharded
+    /// complete for the regather tasks.
+    splits: Vec<(usize, usize)>,
+    /// Owned shard awaiting the regather begin (sharded inverse fallback).
+    owned: Vec<Option<Vec<f32>>>,
+    /// Regather in flight: handle plus this rank's owned length.
+    gather: Vec<Option<(PendingCollective, usize)>>,
+    va: Vec<Option<Vec<f32>>>,
+    vg: Vec<Option<Vec<f32>>>,
+    pair: Vec<Option<(PendingCollective, Vec<f32>)>>,
+    bcasts: Vec<LayerBcasts>,
+    grads: Vec<Matrix>,
+    precond: Vec<Option<Matrix>>,
+    grad_pending: Vec<Option<PendingCollective>>,
+}
+
+impl StepCtx {
+    fn new(n: usize) -> Self {
+        StepCtx {
+            factor: (0..n).map(|_| None).collect(),
+            splits: vec![(0, 0); n],
+            owned: (0..n).map(|_| None).collect(),
+            gather: (0..n).map(|_| None).collect(),
+            va: (0..n).map(|_| None).collect(),
+            vg: (0..n).map(|_| None).collect(),
+            pair: (0..n).map(|_| None).collect(),
+            bcasts: (0..n).map(|_| LayerBcasts::default()).collect(),
+            grads: Vec::new(),
+            precond: (0..n).map(|_| None).collect(),
+            grad_pending: (0..n).map(|_| None).collect(),
+        }
+    }
+}
+
+/// An in-progress runtime step, stashed on [`Kfac`] between
+/// [`Kfac::step_begin`] and [`Kfac::step_finish`].
+pub struct RuntimeStep {
+    sched: Scheduler,
+    kinds: Vec<TaskKind>,
+    ctx: StepCtx,
+}
+
+impl std::fmt::Debug for RuntimeStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeStep").field("tasks", &self.kinds.len()).finish()
+    }
+}
+
+impl Kfac {
+    /// Plan the step's task DAG: tasks in canonical phase order, layers in
+    /// sweep order within each phase, so per-group gate sequences reproduce
+    /// the sweep executor's begin order exactly. Every task except the
+    /// factor begins starts *held* (released by `step_finish`), giving
+    /// `step_begin` its factor-only contract.
+    fn build_runtime_step(&mut self) -> RuntimeStep {
+        fn push(
+            sched: &mut Scheduler,
+            kinds: &mut Vec<TaskKind>,
+            kind: TaskKind,
+            label: String,
+            gate: Option<usize>,
+            deps: &[usize],
+        ) -> usize {
+            kinds.push(kind);
+            sched.add_task(label, gate, deps)
+        }
+
+        let n = self.states.len();
+        let rank = self.rank;
+        let factor_step = self.is_factor_update_step();
+        let inv_step = self.is_inv_update_step();
+        let use_eigen = self.cfg.use_eigen;
+        let precompute = self.cfg.precompute_outer;
+        let order = self.sweep_order.clone();
+        let mut sched = Scheduler::new(rank, self.cfg.runtime_stall_timeout_ms);
+        let mut kinds: Vec<TaskKind> = Vec::new();
+
+        // Phase 1: factor update.
+        let mut fold_task: Vec<Option<usize>> = vec![None; n];
+        if factor_step {
+            let world_group: Vec<usize> = (0..self.world).collect();
+            let wg = sched.add_group(&world_group);
+            let mut begin_id = vec![0usize; n];
+            for &i in &order {
+                begin_id[i] = push(
+                    &mut sched,
+                    &mut kinds,
+                    TaskKind::FactorBegin(i),
+                    format!("factor-begin L{i}"),
+                    Some(wg),
+                    &[],
+                );
+            }
+            if self.cfg.sharded_factors {
+                for &i in &order {
+                    fold_task[i] = Some(push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::FactorShardComplete(i),
+                        format!("factor-shard-complete L{i}"),
+                        None,
+                        &[begin_id[i]],
+                    ));
+                }
+                for &i in &order {
+                    let asn = self.plan.layers[i].clone();
+                    if self.needs_factor_gather(&asn) && asn.eig_worker_group().contains(&rank) {
+                        let eg = sched.add_group(&asn.eig_worker_group());
+                        let gb = push(
+                            &mut sched,
+                            &mut kinds,
+                            TaskKind::FactorGatherBegin(i),
+                            format!("factor-gather-begin L{i}"),
+                            Some(eg),
+                            &[fold_task[i].expect("shard complete planned")],
+                        );
+                        fold_task[i] = Some(push(
+                            &mut sched,
+                            &mut kinds,
+                            TaskKind::FactorGatherComplete(i),
+                            format!("factor-gather-complete L{i}"),
+                            None,
+                            &[gb],
+                        ));
+                    }
+                }
+            } else {
+                for &i in &order {
+                    fold_task[i] = Some(push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::FactorDenseComplete(i),
+                        format!("factor-complete L{i}"),
+                        None,
+                        &[begin_id[i]],
+                    ));
+                }
+            }
+        }
+
+        // Phase 2: eigendecompositions.
+        let mut eig_last: Vec<Option<usize>> = vec![None; n];
+        if inv_step {
+            for &i in &order {
+                let deps: Vec<usize> = fold_task[i].into_iter().collect();
+                let s = push(
+                    &mut sched,
+                    &mut kinds,
+                    TaskKind::EigSolve(i),
+                    format!("eig-solve L{i}"),
+                    None,
+                    &deps,
+                );
+                eig_last[i] = Some(s);
+                let asn = self.plan.layers[i].clone();
+                let mut pair_complete = None;
+                if use_eigen
+                    && precompute
+                    && asn.a_worker != asn.g_worker
+                    && (rank == asn.a_worker || rank == asn.g_worker)
+                {
+                    let pg = sched.add_group(&[asn.a_worker, asn.g_worker]);
+                    let pb = push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::EigPairBegin(i),
+                        format!("eig-pair-begin L{i}"),
+                        Some(pg),
+                        &[s],
+                    );
+                    let pc = push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::EigPairComplete(i),
+                        format!("eig-pair-complete L{i}"),
+                        None,
+                        &[pb],
+                    );
+                    pair_complete = Some(pc);
+                    eig_last[i] = Some(pc);
+                }
+                if use_eigen && precompute && rank == asn.g_worker {
+                    let mut deps = vec![s];
+                    deps.extend(pair_complete);
+                    eig_last[i] = Some(push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::EigOuter(i),
+                        format!("eig-outer L{i}"),
+                        None,
+                        &deps,
+                    ));
+                }
+            }
+            for &i in &order {
+                let asn = self.plan.layers[i].clone();
+                if asn.is_gradient_worker(rank) && asn.gradient_workers.len() > 1 {
+                    let gg = sched.add_group(&asn.gradient_workers);
+                    let bb = push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::EigBcastBegin(i),
+                        format!("eig-bcast-begin L{i}"),
+                        Some(gg),
+                        &[eig_last[i].expect("eig solve planned")],
+                    );
+                    eig_last[i] = Some(push(
+                        &mut sched,
+                        &mut kinds,
+                        TaskKind::EigBcastComplete(i),
+                        format!("eig-bcast-complete L{i}"),
+                        None,
+                        &[bb],
+                    ));
+                }
+            }
+        }
+
+        // Phase 3: precondition, gradient broadcasts, scale.
+        let mut grad_last = vec![0usize; n];
+        for &i in &order {
+            let deps: Vec<usize> = eig_last[i].into_iter().collect();
+            let p = push(
+                &mut sched,
+                &mut kinds,
+                TaskKind::Precond(i),
+                format!("precondition L{i}"),
+                None,
+                &deps,
+            );
+            grad_last[i] = p;
+            let asn = self.plan.layers[i].clone();
+            if let Some(group) = asn.bcast_group_of(rank) {
+                let gg = sched.add_group(group);
+                let gb = push(
+                    &mut sched,
+                    &mut kinds,
+                    TaskKind::GradBcastBegin(i),
+                    format!("grad-bcast-begin L{i}"),
+                    Some(gg),
+                    &[p],
+                );
+                grad_last[i] = push(
+                    &mut sched,
+                    &mut kinds,
+                    TaskKind::GradBcastComplete(i),
+                    format!("grad-bcast-complete L{i}"),
+                    None,
+                    &[gb],
+                );
+            }
+        }
+        push(&mut sched, &mut kinds, TaskKind::Scale, "scale".to_string(), None, &grad_last);
+
+        for (id, kind) in kinds.iter().enumerate() {
+            if !matches!(kind, TaskKind::FactorBegin(_)) {
+                sched.hold(id);
+            }
+        }
+        RuntimeStep { sched, kinds, ctx: StepCtx::new(n) }
+    }
+
+    /// Start a runtime step: plan the task DAG and run the factor-phase
+    /// *begin* tasks only, leaving their collectives in flight. Call after
+    /// the backward pass, *before* the data-parallel gradient allreduce —
+    /// that lets the factor reductions overlap the DDP allreduce and the
+    /// remainder of the step (the paper's cross-iteration lookahead).
+    /// Every rank must call this at the same point so the world-group
+    /// collective order stays consistent. Requires `async_runtime`.
+    pub fn step_begin<M: Model>(&mut self, model: &mut M, comm: &dyn Communicator) {
+        assert!(self.cfg.async_runtime, "step_begin requires async_runtime(true)");
+        assert!(
+            self.runtime_step.is_none(),
+            "step_begin called twice without an intervening step_finish"
+        );
+        let mut layers = model.kfac_layers();
+        assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
+        let RuntimeStep { mut sched, kinds, mut ctx } = self.build_runtime_step();
+        sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, 0.0));
+        self.runtime_step = Some(RuntimeStep { sched, kinds, ctx });
+    }
+
+    /// Finish a runtime step begun by [`Kfac::step_begin`]: release the
+    /// held tasks and run the scheduler to quiescence. Call after the
+    /// data-parallel gradient allreduce; `lr` enters the KL-clip scale as
+    /// in [`Kfac::step`].
+    pub fn step_finish<M: Model>(&mut self, model: &mut M, comm: &dyn Communicator, lr: f32) {
+        let RuntimeStep { mut sched, kinds, mut ctx } =
+            self.runtime_step.take().expect("step_finish requires a prior step_begin");
+        let mut layers = model.kfac_layers();
+        assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
+        // Gradients are final only now (post-DDP), so the plan defers their
+        // capture — and every task that reads them — to this half.
+        ctx.grads = layers.iter().map(|l| l.combined_grad()).collect();
+        sched.release_all();
+        sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, lr));
+        self.steps += 1;
+        self.times.steps += 1;
+    }
+
+    /// Execute one task unit. Complete-side tasks return
+    /// [`TaskPoll::Pending`] while their collective is in flight.
+    fn run_task(
+        &mut self,
+        kind: &TaskKind,
+        layers: &mut [&mut dyn kaisa_nn::KfacAble],
+        comm: &dyn Communicator,
+        ctx: &mut StepCtx,
+        lr: f32,
+    ) -> TaskPoll {
+        let rank = self.rank;
+        let precision = self.cfg.precision;
+        let triangular = self.cfg.triangular_comm;
+        match *kind {
+            TaskKind::FactorBegin(i) => {
+                let layer = &mut layers[i];
+                let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                    panic!(
+                        "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                        layer.layer_name()
+                    )
+                });
+                let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+                    let inv = 1.0 / stats.batches.max(1) as f32;
+                    let mut a = stats.a_stat;
+                    a.scale(inv);
+                    let mut g = stats.g_stat;
+                    g.scale(inv);
+                    (a, g)
+                });
+                let world_group: Vec<usize> = (0..self.world).collect();
+                let sharded = self.cfg.sharded_factors;
+                let asn = self.plan.layers[i].clone();
+                let entry = self.times.time_layer(i, Stage::FactorComm, || {
+                    let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
+                    let total = buf.len();
+                    if sharded {
+                        let shards = factor_shards(&asn, split, total);
+                        let pending = comm.begin_reduce_scatter(
+                            &buf,
+                            ReduceOp::Avg,
+                            &world_group,
+                            &shards,
+                            CommTag::FactorReduce,
+                        );
+                        FactorInFlight { pending, buf: Vec::new(), split, total }
+                    } else {
+                        let pending = comm.begin_allreduce(
+                            &buf,
+                            ReduceOp::Avg,
+                            &world_group,
+                            CommTag::FactorComm,
+                        );
+                        FactorInFlight { pending, buf, split, total }
+                    }
+                });
+                ctx.factor[i] = Some(entry);
+                TaskPoll::Done
+            }
+            TaskKind::FactorDenseComplete(i) => {
+                let ready = ctx.factor[i].as_ref().is_some_and(|fl| comm.poll_ready(&fl.pending));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let mut fl = ctx.factor[i].take().expect("factor begin ran");
+                let decay = self.cfg.factor_decay;
+                let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
+                let (a_new, g_new) = self.times.time_layer(i, Stage::FactorComm, || {
+                    comm.complete(fl.pending, &mut fl.buf);
+                    unpack_factor_payload(
+                        &mut fl.buf,
+                        fl.split,
+                        a_dim,
+                        g_dim,
+                        triangular,
+                        precision,
+                    )
+                });
+                self.comm_bytes += (factor_payload_len(a_dim, g_dim, triangular)
+                    * precision.bytes_per_element()) as u64;
+                self.times.time_layer(i, Stage::FactorCompute, || {
+                    self.states[i].update_factors(a_new, g_new, decay);
+                });
+                TaskPoll::Done
+            }
+            TaskKind::FactorShardComplete(i) => {
+                let ready = ctx.factor[i].as_ref().is_some_and(|fl| comm.poll_ready(&fl.pending));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let fl = ctx.factor[i].take().expect("factor begin ran");
+                let asn = self.plan.layers[i].clone();
+                let owned_len: usize = factor_shards(&asn, fl.split, fl.total)
+                    .iter()
+                    .filter(|s| s.owner == rank)
+                    .map(|s| s.len)
+                    .sum();
+                let mut owned = vec![0.0f32; owned_len];
+                self.times
+                    .time_layer(i, Stage::FactorComm, || comm.complete(fl.pending, &mut owned));
+                self.comm_bytes += (owned_len * precision.bytes_per_element()) as u64;
+                ctx.splits[i] = (fl.split, fl.total);
+                if self.needs_factor_gather(&asn) {
+                    if asn.eig_worker_group().contains(&rank) {
+                        ctx.owned[i] = Some(owned);
+                    }
+                } else {
+                    self.fold_owned_sections(i, owned, fl.split, fl.total);
+                }
+                TaskPoll::Done
+            }
+            TaskKind::FactorGatherBegin(i) => {
+                let owned = ctx.owned[i].take().expect("shard complete stashed the shard");
+                let asn = self.plan.layers[i].clone();
+                let group = asn.eig_worker_group();
+                let pending = self.times.time_layer(i, Stage::FactorComm, || {
+                    comm.begin_allgather(&owned, &group, CommTag::FactorGather)
+                });
+                ctx.gather[i] = Some((pending, owned.len()));
+                TaskPoll::Done
+            }
+            TaskKind::FactorGatherComplete(i) => {
+                let ready = ctx.gather[i].as_ref().is_some_and(|(p, _)| comm.poll_ready(p));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let (pending, owned_len) = ctx.gather[i].take().expect("gather begin ran");
+                let (split, total) = ctx.splits[i];
+                let asn = self.plan.layers[i].clone();
+                let mut gathered = vec![0.0f32; total];
+                self.times
+                    .time_layer(i, Stage::FactorComm, || comm.complete(pending, &mut gathered));
+                self.comm_bytes += ((total - owned_len) * precision.bytes_per_element()) as u64;
+                let payload = reassemble_gathered_payload(&asn, &gathered, split);
+                self.fold_gathered_payload(i, payload, split);
+                TaskPoll::Done
+            }
+            TaskKind::EigSolve(i) => {
+                let asn = self.plan.layers[i].clone();
+                let damping = self.cfg.damping;
+                if self.cfg.ekfac {
+                    self.states[i].ekfac_scale = None;
+                }
+                if !self.cfg.use_eigen {
+                    if rank == asn.a_worker {
+                        self.times.time_layer(i, Stage::EigCompute, || {
+                            self.states[i].compute_inverses(damping);
+                        });
+                    }
+                    return TaskPoll::Done;
+                }
+                if rank == asn.a_worker {
+                    let (qa, values) =
+                        self.times.time_layer(i, Stage::EigCompute, || self.states[i].eig_a());
+                    self.states[i].qa = Some(qa);
+                    ctx.va[i] = Some(values);
+                }
+                if rank == asn.g_worker {
+                    let (qg, values) =
+                        self.times.time_layer(i, Stage::EigCompute, || self.states[i].eig_g());
+                    self.states[i].qg = Some(qg);
+                    ctx.vg[i] = Some(values);
+                }
+                if asn.is_gradient_worker(rank)
+                    && asn.gradient_workers.len() == 1
+                    && !self.cfg.precompute_outer
+                {
+                    // Single gradient worker: keep local values (no bcast).
+                    if let Some(values) = ctx.va[i].take() {
+                        self.states[i].va = Some(values);
+                    }
+                    if let Some(values) = ctx.vg[i].take() {
+                        self.states[i].vg = Some(values);
+                    }
+                }
+                TaskPoll::Done
+            }
+            TaskKind::EigPairBegin(i) => {
+                let asn = self.plan.layers[i].clone();
+                let a_dim = self.states[i].a_dim;
+                let pair = [asn.a_worker, asn.g_worker];
+                let buf = ctx.va[i].clone().unwrap_or_else(|| vec![0.0; a_dim]);
+                let pending = self.times.time_layer(i, Stage::EigComm, || {
+                    comm.begin_broadcast(&buf, asn.a_worker, &pair, CommTag::EigComm)
+                });
+                if rank == asn.a_worker {
+                    self.comm_bytes += (a_dim * precision.bytes_per_element()) as u64;
+                }
+                ctx.pair[i] = Some((pending, buf));
+                TaskPoll::Done
+            }
+            TaskKind::EigPairComplete(i) => {
+                let ready = ctx.pair[i].as_ref().is_some_and(|(p, _)| comm.poll_ready(p));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let (pending, mut buf) = ctx.pair[i].take().expect("pair begin ran");
+                self.times.time_layer(i, Stage::EigComm, || comm.complete(pending, &mut buf));
+                if rank == self.plan.layers[i].g_worker {
+                    ctx.va[i] = Some(buf);
+                }
+                TaskPoll::Done
+            }
+            TaskKind::EigOuter(i) => {
+                let damping = self.cfg.damping;
+                let outer = self.times.time_layer(i, Stage::EigCompute, || {
+                    KfacLayerState::compute_outer(
+                        ctx.vg[i].as_ref().expect("G worker has v_G"),
+                        ctx.va[i].as_ref().expect("G worker received v_A"),
+                        damping,
+                    )
+                });
+                self.states[i].outer = Some(outer);
+                TaskPoll::Done
+            }
+            TaskKind::EigBcastBegin(i) => {
+                let asn = self.plan.layers[i].clone();
+                let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
+                let mut b = LayerBcasts::default();
+                if !self.cfg.use_eigen {
+                    let local = self.states[i].inv_a.take();
+                    b.inv_a = Some(self.begin_matrix_bcast(
+                        i,
+                        comm,
+                        local,
+                        a_dim,
+                        a_dim,
+                        asn.a_worker,
+                        &asn.gradient_workers,
+                    ));
+                    let local = self.states[i].inv_g.take();
+                    b.inv_g = Some(self.begin_matrix_bcast(
+                        i,
+                        comm,
+                        local,
+                        g_dim,
+                        g_dim,
+                        asn.a_worker,
+                        &asn.gradient_workers,
+                    ));
+                } else {
+                    let local = self.states[i].qa.take();
+                    b.qa = Some(self.begin_matrix_bcast(
+                        i,
+                        comm,
+                        local,
+                        a_dim,
+                        a_dim,
+                        asn.a_worker,
+                        &asn.gradient_workers,
+                    ));
+                    let local = self.states[i].qg.take();
+                    b.qg = Some(self.begin_matrix_bcast(
+                        i,
+                        comm,
+                        local,
+                        g_dim,
+                        g_dim,
+                        asn.g_worker,
+                        &asn.gradient_workers,
+                    ));
+                    if self.cfg.precompute_outer {
+                        let local = self.states[i].outer.take();
+                        b.outer = Some(self.begin_matrix_bcast(
+                            i,
+                            comm,
+                            local,
+                            g_dim,
+                            a_dim,
+                            asn.g_worker,
+                            &asn.gradient_workers,
+                        ));
+                    } else {
+                        // Ablation: ship raw eigenvalues; every worker
+                        // recomputes the outer product per step.
+                        let va_b = ctx.va[i].take().unwrap_or_else(|| vec![0.0; a_dim]);
+                        let vg_b = ctx.vg[i].take().unwrap_or_else(|| vec![0.0; g_dim]);
+                        let pending_a = self.times.time_layer(i, Stage::EigComm, || {
+                            comm.begin_broadcast(
+                                &va_b,
+                                asn.a_worker,
+                                &asn.gradient_workers,
+                                CommTag::EigComm,
+                            )
+                        });
+                        let pending_g = self.times.time_layer(i, Stage::EigComm, || {
+                            comm.begin_broadcast(
+                                &vg_b,
+                                asn.g_worker,
+                                &asn.gradient_workers,
+                                CommTag::EigComm,
+                            )
+                        });
+                        let receivers = (asn.gradient_workers.len() - 1) as u64;
+                        if rank == asn.a_worker {
+                            self.comm_bytes +=
+                                (a_dim * precision.bytes_per_element()) as u64 * receivers;
+                        }
+                        if rank == asn.g_worker {
+                            self.comm_bytes +=
+                                (g_dim * precision.bytes_per_element()) as u64 * receivers;
+                        }
+                        b.va_buf = Some((pending_a, va_b));
+                        b.vg_buf = Some((pending_g, vg_b));
+                    }
+                }
+                ctx.bcasts[i] = b;
+                TaskPoll::Done
+            }
+            TaskKind::EigBcastComplete(i) => {
+                if !eig_bcasts_ready(comm, &ctx.bcasts[i]) {
+                    return TaskPoll::Pending;
+                }
+                let b = std::mem::take(&mut ctx.bcasts[i]);
+                if let Some(mb) = b.inv_a {
+                    let m = self.complete_matrix_bcast(i, comm, mb);
+                    self.states[i].inv_a = Some(m);
+                }
+                if let Some(mb) = b.inv_g {
+                    let m = self.complete_matrix_bcast(i, comm, mb);
+                    self.states[i].inv_g = Some(m);
+                }
+                if let Some(mb) = b.qa {
+                    let m = self.complete_matrix_bcast(i, comm, mb);
+                    self.states[i].qa = Some(m);
+                }
+                if let Some(mb) = b.qg {
+                    let m = self.complete_matrix_bcast(i, comm, mb);
+                    self.states[i].qg = Some(m);
+                }
+                if let Some(mb) = b.outer {
+                    let m = self.complete_matrix_bcast(i, comm, mb);
+                    self.states[i].outer = Some(m);
+                }
+                if let Some((pending, mut buf)) = b.va_buf {
+                    self.times.time_layer(i, Stage::EigComm, || comm.complete(pending, &mut buf));
+                    self.states[i].va = Some(buf);
+                }
+                if let Some((pending, mut buf)) = b.vg_buf {
+                    self.times.time_layer(i, Stage::EigComm, || comm.complete(pending, &mut buf));
+                    self.states[i].vg = Some(buf);
+                }
+                TaskPoll::Done
+            }
+            TaskKind::Precond(i) => {
+                let asn = self.plan.layers[i].clone();
+                let is_gw = asn.is_gradient_worker(rank);
+                let precond = self.precondition_local(i, &ctx.grads[i], is_gw);
+                ctx.precond[i] = Some(precond);
+                TaskPoll::Done
+            }
+            TaskKind::GradBcastBegin(i) => {
+                let asn = self.plan.layers[i].clone();
+                let group =
+                    asn.bcast_group_of(rank).expect("task planned only for members").clone();
+                let root = group[0];
+                let precond = ctx.precond[i].as_mut().expect("precondition ran");
+                if rank == root {
+                    precond.quantize(precision);
+                    self.comm_bytes += (precond.numel()
+                        * precision.bytes_per_element()
+                        * (group.len() - 1)) as u64;
+                }
+                let pending = self.times.time_layer(i, Stage::GradComm, || {
+                    comm.begin_broadcast(precond.as_slice(), root, &group, CommTag::GradComm)
+                });
+                ctx.grad_pending[i] = Some(pending);
+                TaskPoll::Done
+            }
+            TaskKind::GradBcastComplete(i) => {
+                let ready = ctx.grad_pending[i].as_ref().is_some_and(|p| comm.poll_ready(p));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let pending = ctx.grad_pending[i].take().expect("grad bcast begin ran");
+                let buf = ctx.precond[i].as_mut().expect("precondition ran").as_mut_slice();
+                self.times.time_layer(i, Stage::GradComm, || comm.complete(pending, buf));
+                TaskPoll::Done
+            }
+            TaskKind::Scale => {
+                let preconditioned: Vec<Matrix> = ctx
+                    .precond
+                    .iter_mut()
+                    .map(|p| p.take().expect("every layer preconditioned"))
+                    .collect();
+                let grads = std::mem::take(&mut ctx.grads);
+                self.scale_and_write_back(layers, &grads, preconditioned, lr);
+                TaskPoll::Done
+            }
+        }
+    }
+}
+
+/// True once every result broadcast a layer has in flight is ready to
+/// complete without blocking.
+fn eig_bcasts_ready(comm: &dyn Communicator, b: &LayerBcasts) -> bool {
+    let mats = [&b.inv_a, &b.inv_g, &b.qa, &b.qg, &b.outer];
+    mats.iter().all(|mb| mb.as_ref().map_or(true, |mb| comm.poll_ready(mb.pending())))
+        && b.va_buf.as_ref().map_or(true, |(p, _)| comm.poll_ready(p))
+        && b.vg_buf.as_ref().map_or(true, |(p, _)| comm.poll_ready(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::KfacConfig;
+    use crate::preconditioner::Kfac;
+    use kaisa_comm::{Communicator, LocalComm, ThreadComm};
+    use kaisa_nn::models::Mlp;
+    use kaisa_nn::Model;
+    use kaisa_tensor::{Matrix, Rng};
+
+    fn toy() -> (Mlp, Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(404);
+        let mlp = Mlp::new(&[6, 10, 3], &mut rng);
+        let x = Matrix::randn(16, 6, 1.0, &mut rng);
+        let y: Vec<usize> = (0..16).map(|i| i % 3).collect();
+        (mlp, x, y)
+    }
+
+    #[test]
+    fn runtime_matches_serial_single_rank() {
+        let (model, x, y) = toy();
+        let comm = LocalComm::new();
+        let mut grads = Vec::new();
+        for async_runtime in [false, true] {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(2)
+                .inv_update_freq(4)
+                .pipelined(false)
+                .async_runtime(async_runtime)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, &comm);
+            for _ in 0..5 {
+                kfac.prepare(&mut m);
+                m.zero_grad();
+                let _ = m.forward_backward(&x, &y);
+                kfac.step(&mut m, &comm, 0.1);
+            }
+            grads.push(m.grads_flat());
+        }
+        assert_eq!(grads[0], grads[1], "runtime executor must be bitwise identical to serial");
+    }
+
+    #[test]
+    fn step_begin_finish_split_matches_monolithic_step() {
+        let (model, x, y) = toy();
+        let comm = LocalComm::new();
+        let cfg = || {
+            KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .async_runtime(true)
+                .build()
+        };
+        let mut m1 = model.clone();
+        let mut k1 = Kfac::new(cfg(), &mut m1, &comm);
+        let mut m2 = model.clone();
+        let mut k2 = Kfac::new(cfg(), &mut m2, &comm);
+        for _ in 0..3 {
+            k1.prepare(&mut m1);
+            m1.zero_grad();
+            let _ = m1.forward_backward(&x, &y);
+            k1.step(&mut m1, &comm, 0.1);
+
+            k2.prepare(&mut m2);
+            m2.zero_grad();
+            let _ = m2.forward_backward(&x, &y);
+            k2.step_begin(&mut m2, &comm);
+            k2.step_finish(&mut m2, &comm, 0.1);
+        }
+        assert_eq!(m1.grads_flat(), m2.grads_flat());
+        assert_eq!(k1.steps(), k2.steps());
+        assert_eq!(k1.comm_bytes(), k2.comm_bytes());
+    }
+
+    #[test]
+    fn mismatched_collective_trips_watchdog_instead_of_deadlocking() {
+        // Rank 1 never enters the step, so rank 0's factor allreduce can
+        // never become ready: the runtime must park, detect the stall, and
+        // dump a diagnostic panic instead of hanging inside `complete`.
+        // `ThreadComm::run` re-raises rank panics with a generic wrapper
+        // message, so catch the panic inside the rank thread and assert on
+        // the diagnostic text directly.
+        let (model, x, y) = toy();
+        let messages = ThreadComm::run(2, |comm| {
+            let mut m = model.clone();
+            let cfg = KfacConfig::builder()
+                .factor_update_freq(1)
+                .inv_update_freq(1)
+                .async_runtime(true)
+                .runtime_stall_timeout_ms(200)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut m, comm);
+            kfac.prepare(&mut m);
+            m.zero_grad();
+            let _ = m.forward_backward(&x, &y);
+            if comm.rank() != 0 {
+                return String::new();
+            }
+            let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                kfac.step(&mut m, comm, 0.1);
+            }))
+            .expect_err("rank 0's step must panic, not hang or succeed");
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                String::from("<non-string panic payload>")
+            }
+        });
+        let diag = &messages[0];
+        assert!(
+            diag.contains("stall watchdog"),
+            "expected the stall watchdog diagnostic, got: {diag}"
+        );
+        assert!(diag.contains("parked"), "diagnostic must dump the parked task state, got: {diag}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Per-rank cooperative task runtime with cross-iteration phase overlap.
+//!
+//! The third `Kfac::step` executor (after the serial reference and the
+//! sweep pipeline): stage work becomes polled task units on a per-rank
+//! ready-queue [`scheduler::Scheduler`]. A task blocked on an in-flight
+//! collective *parks*, yielding the rank to any runnable task — and the
+//! [`crate::Kfac::step_begin`]/[`crate::Kfac::step_finish`] split lets the
+//! next iteration's factor-accumulation collectives launch before the
+//! current DDP allreduce, overlapping phases across the iteration boundary.
+//! Collective begin order is pinned per communication group by plan-time
+//! gates (canonical sweep order), so all three executors stay bitwise
+//! identical. A stall watchdog converts a mismatched collective into a
+//! per-rank task-state diagnostic panic instead of a hang.
+//!
+//! [`model::CrossIterModel`] extends the cost model across a two-iteration
+//! window to predict the overlap win; `kaisa-sim` and the `fig7` bench
+//! consume it.
+
+pub mod executor;
+pub mod model;
+pub mod scheduler;
+
+pub use model::{modeled_cross_iter_makespans, CrossIterModel, CrossStage, Interval, OverlapMode};
+pub use scheduler::{Scheduler, TaskPoll};

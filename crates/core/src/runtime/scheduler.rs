@@ -1,0 +1,401 @@
+//! The per-rank cooperative task scheduler.
+//!
+//! A [`Scheduler`] owns a small DAG of tasks and repeatedly scans it for
+//! *runnable* work: tasks whose dependencies are all done and whose *gate*
+//! (if any) is open. Two task flavours exist, with different blocking
+//! disciplines:
+//!
+//! - **Gated tasks** issue collectives (`begin_*` calls). Their gate
+//!   `(group, seq)` is assigned at plan time in canonical sweep order, and
+//!   the scheduler refuses to run a gated task until every earlier gated
+//!   task on the same communication group has finished. Because every rank
+//!   plans the same per-group task sequence, this pins the per-group begin
+//!   order that the rendezvous matching rule requires — which is exactly
+//!   what makes the runtime bitwise identical to the sweep executor. Begins
+//!   never block, so a gated task must finish on its first poll.
+//! - **Parkable tasks** consume collectives (`complete` calls). They poll
+//!   readiness and return [`TaskPoll::Pending`] while the collective is in
+//!   flight; the scheduler *parks* them and hands the rank to any other
+//!   runnable task — including tasks of a later phase whose data
+//!   dependencies are already satisfied.
+//!
+//! When a full scan makes no progress the scheduler briefly sleeps (ranks
+//! are threads; sleeping yields the core to peer ranks) and checks the
+//! stall watchdog: if no task has finished for the configured timeout, the
+//! scheduler panics with a per-task state dump instead of hanging the
+//! process — turning a mismatched collective into a failing diagnostic.
+
+use std::time::{Duration, Instant};
+
+/// Result of polling one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPoll {
+    /// The task ran to completion; its dependents may become runnable.
+    Done,
+    /// The task is waiting on an in-flight collective: park it and poll it
+    /// again on a later pass. Only parkable (ungated) tasks may return this.
+    Pending,
+}
+
+/// One task in the scheduler's DAG.
+struct Node {
+    /// Human-readable name, used only by the watchdog diagnostic.
+    label: String,
+    /// `(group, seq)` issue gate for begin-bearing tasks; `None` for
+    /// compute-only and complete-side tasks.
+    gate: Option<(usize, u64)>,
+    /// Unfinished dependency count; runnable at zero.
+    deps_remaining: usize,
+    /// Tasks whose `deps_remaining` drops when this one finishes.
+    dependents: Vec<usize>,
+    /// The task returned `Pending` on its most recent poll.
+    parked: bool,
+    /// The task finished.
+    done: bool,
+    /// Withheld from scheduling (the `step_begin`/`step_finish` split).
+    held: bool,
+}
+
+/// Per-rank cooperative scheduler with gated begins and parked completes.
+pub struct Scheduler {
+    nodes: Vec<Node>,
+    /// Normalized (sorted, deduplicated) membership of each gate group.
+    groups: Vec<Vec<usize>>,
+    /// Next gate sequence number to *run* per group.
+    group_next: Vec<u64>,
+    /// Next gate sequence number to *assign* per group (plan-time counter).
+    group_seq: Vec<u64>,
+    rank: usize,
+    stall_timeout: Duration,
+}
+
+impl Scheduler {
+    /// Create an empty scheduler for `rank` with the given stall-watchdog
+    /// timeout in milliseconds.
+    pub fn new(rank: usize, stall_timeout_ms: u64) -> Self {
+        Scheduler {
+            nodes: Vec::new(),
+            groups: Vec::new(),
+            group_next: Vec::new(),
+            group_seq: Vec::new(),
+            rank,
+            stall_timeout: Duration::from_millis(stall_timeout_ms),
+        }
+    }
+
+    /// Register a communication group and return its gate-group id.
+    /// Membership is normalized (sorted, deduplicated) so that the same
+    /// rank set always maps to the same group — and therefore to one shared
+    /// begin-order counter, mirroring the rendezvous layer's group keying.
+    pub fn add_group(&mut self, members: &[usize]) -> usize {
+        let mut normalized = members.to_vec();
+        normalized.sort_unstable();
+        normalized.dedup();
+        if let Some(id) = self.groups.iter().position(|g| *g == normalized) {
+            return id;
+        }
+        self.groups.push(normalized);
+        self.group_next.push(0);
+        self.group_seq.push(0);
+        self.groups.len() - 1
+    }
+
+    /// Add a task. `gate_group` marks a begin-bearing task: its gate
+    /// sequence is the group's next plan-time counter value, so tasks must
+    /// be added in the canonical (sweep-order) begin order. `deps` are ids
+    /// of previously added tasks.
+    pub fn add_task(&mut self, label: String, gate_group: Option<usize>, deps: &[usize]) -> usize {
+        let id = self.nodes.len();
+        let gate = gate_group.map(|g| {
+            let seq = self.group_seq[g];
+            self.group_seq[g] += 1;
+            (g, seq)
+        });
+        for &d in deps {
+            assert!(d < id, "dependencies must be previously added tasks");
+            self.nodes[d].dependents.push(id);
+        }
+        let deps_remaining = deps.iter().filter(|&&d| !self.nodes[d].done).count();
+        self.nodes.push(Node {
+            label,
+            gate,
+            deps_remaining,
+            dependents: Vec::new(),
+            parked: false,
+            done: false,
+            held: false,
+        });
+        id
+    }
+
+    /// Withhold a task from scheduling until [`Scheduler::release_all`].
+    pub fn hold(&mut self, id: usize) {
+        self.nodes[id].held = true;
+    }
+
+    /// Release every held task.
+    pub fn release_all(&mut self) {
+        for node in &mut self.nodes {
+            node.held = false;
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Run every non-held task to completion. `poll` is called with a task
+    /// id and must return [`TaskPoll::Done`] when the task finished or
+    /// [`TaskPoll::Pending`] to park it. Panics with a per-task diagnostic
+    /// if no task finishes for the stall-watchdog timeout while unfinished
+    /// tasks remain.
+    pub fn run(&mut self, mut poll: impl FnMut(usize) -> TaskPoll) {
+        let mut last_progress = Instant::now();
+        loop {
+            let mut progress = false;
+            let mut remaining = false;
+            for id in 0..self.nodes.len() {
+                {
+                    let node = &self.nodes[id];
+                    if node.done || node.held {
+                        continue;
+                    }
+                    remaining = true;
+                    if node.deps_remaining > 0 {
+                        continue;
+                    }
+                    if let Some((g, seq)) = node.gate {
+                        if self.group_next[g] != seq {
+                            continue;
+                        }
+                    }
+                }
+                match poll(id) {
+                    TaskPoll::Done => {
+                        self.finish(id);
+                        progress = true;
+                    }
+                    TaskPoll::Pending => {
+                        assert!(
+                            self.nodes[id].gate.is_none(),
+                            "gated task '{}' returned Pending: begins never block",
+                            self.nodes[id].label
+                        );
+                        self.nodes[id].parked = true;
+                    }
+                }
+            }
+            if !remaining {
+                return;
+            }
+            if progress {
+                last_progress = Instant::now();
+            } else {
+                if last_progress.elapsed() >= self.stall_timeout {
+                    panic!(
+                        "rank {}: runtime stall watchdog fired after {:?} with no progress \
+                         (likely a mismatched collective)\n{}",
+                        self.rank,
+                        self.stall_timeout,
+                        self.dump()
+                    );
+                }
+                // Nothing runnable: the rank is waiting on peers. Sleep a
+                // beat so peer rank threads get the core.
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    fn finish(&mut self, id: usize) {
+        self.nodes[id].done = true;
+        self.nodes[id].parked = false;
+        if let Some((g, seq)) = self.nodes[id].gate {
+            debug_assert_eq!(self.group_next[g], seq);
+            self.group_next[g] = seq + 1;
+        }
+        let dependents = std::mem::take(&mut self.nodes[id].dependents);
+        for d in &dependents {
+            self.nodes[*d].deps_remaining -= 1;
+        }
+        self.nodes[id].dependents = dependents;
+    }
+
+    /// Render the per-task state diagnostic the watchdog dumps on a stall.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "task states on rank {}:", self.rank);
+        for (id, node) in self.nodes.iter().enumerate() {
+            let state = if node.done {
+                "done".to_string()
+            } else if node.held {
+                "held".to_string()
+            } else if node.parked {
+                "parked (collective in flight)".to_string()
+            } else if node.deps_remaining > 0 {
+                format!("blocked ({} deps unfinished)", node.deps_remaining)
+            } else if let Some((g, seq)) = node.gate {
+                format!("gate-waiting (group {g} at {}, task at {seq})", self.group_next[g])
+            } else {
+                "ready".to_string()
+            };
+            let gate = match node.gate {
+                Some((g, seq)) => format!(" gate=({g},{seq})"),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "  [{id}] {}{gate}: {state}", node.label);
+        }
+        for (g, members) in self.groups.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  group {g} {:?}: next seq {} of {}",
+                members, self.group_next[g], self.group_seq[g]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependency_chain_runs_in_order() {
+        let mut sched = Scheduler::new(0, 1000);
+        let a = sched.add_task("a".into(), None, &[]);
+        let b = sched.add_task("b".into(), None, &[a]);
+        let c = sched.add_task("c".into(), None, &[b]);
+        let mut order = Vec::new();
+        sched.run(|id| {
+            order.push(id);
+            TaskPoll::Done
+        });
+        assert_eq!(order, vec![a, b, c]);
+    }
+
+    #[test]
+    fn gate_pins_per_group_issue_order() {
+        let mut sched = Scheduler::new(0, 1000);
+        let g = sched.add_group(&[1, 0]);
+        // `x` (seq 0) is data-blocked behind `c`; `y` (seq 1) is runnable
+        // immediately but the gate must still hold it behind `x`.
+        let c = sched.add_task("c".into(), None, &[]);
+        let x = sched.add_task("x".into(), Some(g), &[c]);
+        let y = sched.add_task("y".into(), Some(g), &[]);
+        let mut order = Vec::new();
+        sched.run(|id| {
+            order.push(id);
+            TaskPoll::Done
+        });
+        assert_eq!(order, vec![c, x, y]);
+    }
+
+    #[test]
+    fn groups_deduplicate_by_normalized_membership() {
+        let mut sched = Scheduler::new(0, 1000);
+        let a = sched.add_group(&[2, 0, 1]);
+        let b = sched.add_group(&[0, 1, 2]);
+        let c = sched.add_group(&[0, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parked_task_is_repolled_until_ready() {
+        let mut sched = Scheduler::new(0, 1000);
+        let t = sched.add_task("parker".into(), None, &[]);
+        let mut polls = 0;
+        sched.run(|id| {
+            assert_eq!(id, t);
+            polls += 1;
+            if polls < 3 {
+                TaskPoll::Pending
+            } else {
+                TaskPoll::Done
+            }
+        });
+        assert_eq!(polls, 3);
+    }
+
+    #[test]
+    fn parked_task_yields_the_rank_to_later_runnable_work() {
+        let mut sched = Scheduler::new(0, 1000);
+        let parker = sched.add_task("parker".into(), None, &[]);
+        let other = sched.add_task("other".into(), None, &[]);
+        let mut other_done = false;
+        let mut order = Vec::new();
+        sched.run(|id| {
+            if id == parker {
+                if !other_done {
+                    return TaskPoll::Pending;
+                }
+                order.push(id);
+                TaskPoll::Done
+            } else {
+                other_done = true;
+                order.push(id);
+                TaskPoll::Done
+            }
+        });
+        // `other` finished while `parker` sat parked.
+        assert_eq!(order, vec![other, parker]);
+    }
+
+    #[test]
+    fn held_tasks_wait_for_release() {
+        let mut sched = Scheduler::new(0, 1000);
+        let a = sched.add_task("a".into(), None, &[]);
+        let b = sched.add_task("b".into(), None, &[a]);
+        sched.hold(b);
+        let mut order = Vec::new();
+        sched.run(|id| {
+            order.push(id);
+            TaskPoll::Done
+        });
+        assert_eq!(order, vec![a]);
+        sched.release_all();
+        sched.run(|id| {
+            order.push(id);
+            TaskPoll::Done
+        });
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall watchdog")]
+    fn watchdog_converts_a_permanent_park_into_a_diagnostic_panic() {
+        let mut sched = Scheduler::new(0, 50);
+        sched.add_task("never-ready-complete".into(), None, &[]);
+        sched.run(|_| TaskPoll::Pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "begins never block")]
+    fn gated_tasks_must_not_park() {
+        let mut sched = Scheduler::new(0, 1000);
+        let g = sched.add_group(&[0, 1]);
+        sched.add_task("bad-begin".into(), Some(g), &[]);
+        sched.run(|_| TaskPoll::Pending);
+    }
+
+    #[test]
+    fn dump_names_every_task_and_group() {
+        let mut sched = Scheduler::new(3, 1000);
+        let g = sched.add_group(&[0, 3]);
+        let a = sched.add_task("factor-begin L0".into(), Some(g), &[]);
+        let _b = sched.add_task("factor-fold L0".into(), None, &[a]);
+        let dump = sched.dump();
+        assert!(dump.contains("rank 3"));
+        assert!(dump.contains("factor-begin L0"));
+        assert!(dump.contains("blocked (1 deps unfinished)"));
+        assert!(dump.contains("group 0 [0, 3]"));
+    }
+}

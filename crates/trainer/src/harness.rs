@@ -101,6 +101,9 @@ where
     let sampler =
         ShardSampler::new(train_set.len(), world, rank, cfg.local_batch * cfg.grad_accum, cfg.seed);
     let mut kfac = cfg.kfac.clone().map(|kc| Kfac::new(kc, &mut model, comm));
+    // Two-step lookahead: with the task runtime enabled, factor collectives
+    // begin before the DDP gradient allreduce and drain concurrently with it.
+    let kfac_async = cfg.kfac.as_ref().is_some_and(|kc| kc.async_runtime);
 
     let mut result = TrainResult::default();
     let start = Instant::now();
@@ -135,9 +138,18 @@ where
                 epoch_batches += 1;
             }
 
+            if kfac_async {
+                if let Some(kfac) = &mut kfac {
+                    kfac.step_begin(&mut model, comm);
+                }
+            }
             allreduce_gradients(&mut model, comm, cfg.grad_accum);
             if let Some(kfac) = &mut kfac {
-                kfac.step(&mut model, comm, lr);
+                if kfac_async {
+                    kfac.step_finish(&mut model, comm, lr);
+                } else {
+                    kfac.step(&mut model, comm, lr);
+                }
             }
             optimizer.step_model_dyn(&mut model, lr);
             iterations += 1;
@@ -318,6 +330,41 @@ mod tests {
         assert!(result.kfac_memory_bytes > 0);
         assert!(result.stage_times.is_some());
         assert!(result.best_metric() > 0.5, "metric {}", result.best_metric());
+    }
+
+    #[test]
+    fn async_runtime_lookahead_matches_monolithic_kfac_step() {
+        // The step_begin/step_finish split interleaves factor collectives
+        // with the DDP allreduce but must not change a single bit of the
+        // training trajectory.
+        let (train, val) = blobs();
+        let base = TrainConfig {
+            epochs: 3,
+            local_batch: 16,
+            schedule: LrSchedule::Constant { lr: 0.2 },
+            ..Default::default()
+        };
+        let kc =
+            KfacConfig::builder().grad_worker_frac(0.5).factor_update_freq(2).inv_update_freq(4);
+        let run = |kc: KfacConfig| {
+            train_distributed(
+                4,
+                || Mlp::new(&[8, 16, 4], &mut Rng::seed_from_u64(3)),
+                Sgd::new,
+                &train,
+                &val,
+                &TrainConfig { kfac: Some(kc), ..base.clone() },
+            )
+        };
+        let serial = run(kc.clone().build());
+        let lookahead = run(kc.async_runtime(true).build());
+        assert_eq!(serial.iterations, lookahead.iterations);
+        assert_eq!(serial.kfac_comm_bytes, lookahead.kfac_comm_bytes);
+        for (a, b) in serial.epochs.iter().zip(&lookahead.epochs) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits(), "epoch {}", a.epoch);
+            assert_eq!(a.val_loss.to_bits(), b.val_loss.to_bits(), "epoch {}", a.epoch);
+            assert_eq!(a.val_metric.to_bits(), b.val_metric.to_bits(), "epoch {}", a.epoch);
+        }
     }
 
     #[test]

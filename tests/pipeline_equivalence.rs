@@ -318,6 +318,113 @@ fn priority_schedule_never_changes_numerics() {
     }
 }
 
+/// Like [`train`], but drives the task runtime through the trainer's
+/// two-step lookahead split: `step_begin` launches factor collectives
+/// *before* the DDP gradient allreduce, `step_finish` drains them after.
+fn train_lookahead(
+    world: usize,
+    steps: usize,
+    seed: u64,
+    build: impl Fn(KfacConfigBuilder) -> KfacConfigBuilder + Sync,
+) -> Vec<(Vec<f32>, Vec<f32>, u64, MeterSnapshot)> {
+    let dataset = GaussianBlobs::generate(128, 8, 4, 0.4, seed);
+    ThreadComm::run(world, |comm| {
+        let mut model = Mlp::new(&[8, 12, 4], &mut Rng::seed_from_u64(seed + 1));
+        let mut opt = Sgd::with_momentum(0.9);
+        let cfg = build(
+            KfacConfig::builder().factor_update_freq(2).inv_update_freq(4).async_runtime(true),
+        )
+        .build();
+        let mut kfac = Kfac::new(cfg, &mut model, comm);
+        let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, seed);
+        let mut last_grads = Vec::new();
+        for step in 0..steps {
+            let epoch = step / sampler.batches_per_epoch();
+            let batches = sampler.epoch_batches(epoch);
+            let indices = &batches[step % sampler.batches_per_epoch()];
+            let (x, y) = dataset.batch(indices);
+            kfac.prepare(&mut model);
+            model.zero_grad();
+            let _ = model.forward_backward(&x, &y);
+            kfac.step_begin(&mut model, comm);
+            kaisa::trainer::allreduce_gradients(&mut model, comm, 1);
+            kfac.step_finish(&mut model, comm, 0.1);
+            last_grads = model.grads_flat();
+            opt.step_model(&mut model, 0.1);
+        }
+        comm.barrier();
+        (model.params_flat(), last_grads, kfac.comm_bytes(), comm.meter_snapshot())
+    })
+}
+
+#[test]
+fn async_runtime_is_bitwise_identical_across_strategies_and_worlds() {
+    // The tentpole contract: the task runtime replays the sweep executor's
+    // collective order through plan-time gates, so training is bitwise
+    // identical to the serial reference on the full strategy matrix.
+    for world in [1usize, 2, 4, 8] {
+        for frac in [1.0 / world as f64, 0.5, 1.0] {
+            let serial = train(world, 10, 31, |b| b.grad_worker_frac(frac).pipelined(false));
+            let runtime = train(world, 10, 31, |b| b.grad_worker_frac(frac).async_runtime(true));
+            assert_bitwise_equal(&serial, &runtime, &format!("runtime world={world} frac={frac}"));
+        }
+    }
+}
+
+#[test]
+fn async_runtime_is_bitwise_identical_with_fp16_triangular_and_sharded() {
+    for (precision, triangular, sharded) in [
+        (Precision::Fp16, false, false),
+        (Precision::Fp32, true, false),
+        (Precision::Fp16, true, true),
+        (Precision::Fp32, false, true),
+    ] {
+        let mk = |runtime: bool| {
+            train(4, 8, 47, move |b| {
+                b.grad_worker_frac(0.5)
+                    .precision(precision)
+                    .triangular_comm(triangular)
+                    .sharded_factors(sharded)
+                    .pipelined(!runtime)
+                    .async_runtime(runtime)
+            })
+        };
+        let ctx = format!("runtime precision={precision:?} tri={triangular} sharded={sharded}");
+        assert_bitwise_equal(&mk(false), &mk(true), &ctx);
+    }
+}
+
+#[test]
+fn async_runtime_is_bitwise_identical_on_variant_algorithms() {
+    type Variant = (&'static str, fn(KfacConfigBuilder) -> KfacConfigBuilder);
+    let variants: [Variant; 3] = [
+        ("inverse", |b| b.use_eigen(false)),
+        ("no-precompute", |b| b.precompute_outer(false)),
+        ("ekfac", |b| b.ekfac(true)),
+    ];
+    for (name, variant) in variants {
+        let serial = train(4, 8, 59, |b| variant(b.grad_worker_frac(0.5)).pipelined(false));
+        let runtime = train(4, 8, 59, |b| variant(b.grad_worker_frac(0.5)).async_runtime(true));
+        assert_bitwise_equal(&serial, &runtime, &format!("runtime {name}"));
+    }
+}
+
+#[test]
+fn lookahead_split_is_bitwise_identical_to_monolithic_step() {
+    // step_begin before the DDP allreduce + step_finish after must equal the
+    // serial reference exactly: factor collectives and the DDP allreduce are
+    // independent, and rank-ordered reductions pin every bit.
+    for (frac, sharded) in [(0.5, false), (0.25, false), (0.5, true)] {
+        let serial = train(4, 10, 113, |b| {
+            b.grad_worker_frac(frac).sharded_factors(sharded).pipelined(false)
+        });
+        let split =
+            train_lookahead(4, 10, 113, |b| b.grad_worker_frac(frac).sharded_factors(sharded));
+        let ctx = format!("lookahead frac={frac} sharded={sharded}");
+        assert_bitwise_equal(&serial, &split, &ctx);
+    }
+}
+
 #[test]
 fn cost_model_shows_overlap_win_on_comm_bound_resnet() {
     // The acceptance configuration: ResNetMini layer dims, world 8,
@@ -351,6 +458,22 @@ fn cost_model_shows_overlap_win_on_comm_bound_resnet() {
     );
     // Sanity: the dependency-only critical path lower-bounds the schedule.
     assert!(m.graph().critical_path() <= m.pipelined_seconds() + 1e-15);
+    // The task runtime relaxes the sweep's lock-step issue order, so its
+    // modeled makespan can never exceed the pipelined schedule.
+    assert!(
+        m.runtime_seconds() <= m.pipelined_seconds() + 1e-15,
+        "runtime {} must not exceed pipelined {}",
+        m.runtime_seconds(),
+        m.pipelined_seconds()
+    );
+    // And across the iteration boundary the two-iteration window model must
+    // overlap iteration-0 factor traffic with iteration-1 forward/backward.
+    let (pipelined_w, runtime_w) =
+        kaisa::core::modeled_cross_iter_makespans(&dims, world, ClusterNetwork::ethernet_10g(), 32);
+    assert!(
+        runtime_w <= pipelined_w + 1e-15,
+        "cross-iteration window: runtime {runtime_w} must not exceed pipelined {pipelined_w}"
+    );
 }
 
 proptest! {
@@ -363,12 +486,16 @@ proptest! {
         steps in 3usize..8,
         seed in 100u64..200,
         sharded in any::<bool>(),
+        runtime in any::<bool>(),
     ) {
         let serial = train(world, steps, seed, |b| {
             b.grad_worker_frac(frac).pipelined(false).sharded_factors(sharded)
         });
         let pipelined = train(world, steps, seed, |b| {
-            b.grad_worker_frac(frac).pipelined(true).sharded_factors(sharded)
+            b.grad_worker_frac(frac)
+                .pipelined(!runtime)
+                .async_runtime(runtime)
+                .sharded_factors(sharded)
         });
         for (rank, (s, p)) in serial.iter().zip(&pipelined).enumerate() {
             prop_assert_eq!(bits(&s.0), bits(&p.0), "rank {} params", rank);
