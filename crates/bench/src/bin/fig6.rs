@@ -9,7 +9,7 @@
 
 use kaisa_bench::{render_table, sparkline};
 use kaisa_comm::{Communicator, ThreadComm};
-use kaisa_core::{Kfac, KfacConfig};
+use kaisa_core::{Kfac, KfacConfig, MemoryCategory};
 use kaisa_data::{Dataset, PatternImages, ShardSampler};
 use kaisa_nn::models::{ResNetMini, ResNetMiniConfig};
 use kaisa_nn::Model;
@@ -48,52 +48,75 @@ fn live() {
     let model_cfg = ResNetMiniConfig {
         in_channels: 3,
         width: 6,
-        blocks_stage1: 1,
-        blocks_stage2: 1,
+        blocks_stage1: 2,
+        blocks_stage2: 2,
         classes: 4,
     };
     let mut table = Vec::new();
     for &frac in &[1.0 / 8.0, 0.25, 0.5, 1.0] {
-        let results = ThreadComm::run(world, |comm| {
-            let mut model = ResNetMini::new(model_cfg, &mut Rng::seed_from_u64(30));
-            let cfg = KfacConfig::builder()
-                .grad_worker_frac(frac)
-                .factor_update_freq(2)
-                .inv_update_freq(4)
-                .build();
-            let mut kfac = Kfac::new(cfg, &mut model, comm);
-            let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 4, 3);
-            let start = std::time::Instant::now();
-            let mut steps = 0usize;
-            for indices in sampler.epoch_batches(0) {
-                let (x, y) = dataset.batch(&indices);
-                kfac.prepare(&mut model);
-                model.zero_grad();
-                let _ = model.forward_backward(&x, &y);
-                kaisa_trainer::allreduce_gradients(&mut model, comm, 1);
-                kfac.step(&mut model, comm, 0.05);
-                steps += 1;
-            }
-            (start.elapsed().as_secs_f64() / steps as f64, kfac.memory_bytes(), kfac.comm_bytes())
-        });
-        let (iter_s, mem, sent) = results[0];
-        let max_mem = results.iter().map(|r| r.1).max().unwrap();
+        let run = |sharded: bool| {
+            ThreadComm::run(world, |comm| {
+                let mut model = ResNetMini::new(model_cfg, &mut Rng::seed_from_u64(30));
+                let cfg = KfacConfig::builder()
+                    .grad_worker_frac(frac)
+                    .factor_update_freq(2)
+                    .inv_update_freq(4)
+                    .sharded_factors(sharded)
+                    .build();
+                let mut kfac = Kfac::new(cfg, &mut model, comm);
+                let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 4, 3);
+                let start = std::time::Instant::now();
+                let mut steps = 0usize;
+                for indices in sampler.epoch_batches(0) {
+                    let (x, y) = dataset.batch(&indices);
+                    kfac.prepare(&mut model);
+                    model.zero_grad();
+                    let _ = model.forward_backward(&x, &y);
+                    kaisa_trainer::allreduce_gradients(&mut model, comm, 1);
+                    kfac.step(&mut model, comm, 0.05);
+                    steps += 1;
+                }
+                (
+                    start.elapsed().as_secs_f64() / steps as f64,
+                    kfac.memory_bytes(),
+                    kfac.comm_bytes(),
+                    kfac.memory_meter().peak(MemoryCategory::Factors),
+                )
+            })
+        };
+        let dense = run(false);
+        let shard = run(true);
+        let (iter_s, mem, sent, _) = dense[0];
+        let max_mem = dense.iter().map(|r| r.1).max().unwrap();
+        let dense_factors = dense.iter().map(|r| r.3).max().unwrap();
+        let shard_factors = shard.iter().map(|r| r.3).max().unwrap();
         table.push(vec![
             format!("{frac:.3}"),
             format!("{:.1}", iter_s * 1e3),
             format!("{}", mem / 1024),
             format!("{}", max_mem / 1024),
             format!("{sent}"),
+            format!("{}", dense_factors / 1024),
+            format!("{}", shard_factors / 1024),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["frac", "iter ms", "rank0 K-FAC KiB", "max K-FAC KiB", "rank0 sent B"],
+            &[
+                "frac",
+                "iter ms",
+                "rank0 K-FAC KiB",
+                "max K-FAC KiB",
+                "rank0 sent B",
+                "peak factor KiB (dense)",
+                "peak factor KiB (sharded)",
+            ],
             &table
         )
     );
-    println!("(live memory grows with frac and rank-0 send volume falls — the Figure 6 tradeoff)");
+    println!("(live memory grows with frac and rank-0 send volume falls — the Figure 6 tradeoff;");
+    println!(" the sharded column is the MemoryMeter-measured peak with shard-resident factors)");
 }
 
 fn main() {

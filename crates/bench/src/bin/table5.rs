@@ -6,7 +6,68 @@
 //! ```
 
 use kaisa_bench::render_table;
+use kaisa_comm::{Communicator, ThreadComm};
+use kaisa_core::{Kfac, KfacConfig, MemoryCategory, MemoryMeter};
+use kaisa_data::{Dataset, PatternImages, ShardSampler};
+use kaisa_nn::models::{ResNetMini, ResNetMiniConfig};
+use kaisa_nn::Model;
 use kaisa_sim::experiments::table5;
+use kaisa_tensor::Rng;
+
+/// Live counterpart of the analytic table: run ResNetMini on 8 thread ranks
+/// and report the per-rank `MemoryMeter` peaks, dense vs shard-resident.
+fn live_meter() {
+    println!("\n== Live per-rank MemoryMeter (8 thread ranks, ResNetMini) ==\n");
+    let world = 8;
+    let dataset = PatternImages::generate(128, 3, 12, 4, 0.3, 121);
+    let model_cfg = ResNetMiniConfig {
+        in_channels: 3,
+        width: 6,
+        blocks_stage1: 2,
+        blocks_stage2: 2,
+        classes: 4,
+    };
+    let run = |sharded: bool| -> Vec<MemoryMeter> {
+        ThreadComm::run(world, |comm| {
+            let mut model = ResNetMini::new(model_cfg, &mut Rng::seed_from_u64(30));
+            let cfg = KfacConfig::builder()
+                .grad_worker_frac(0.25)
+                .factor_update_freq(2)
+                .inv_update_freq(4)
+                .sharded_factors(sharded)
+                .build();
+            let mut kfac = Kfac::new(cfg, &mut model, comm);
+            let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 4, 2);
+            for indices in sampler.epoch_batches(0) {
+                let (x, y) = dataset.batch(&indices);
+                kfac.prepare(&mut model);
+                model.zero_grad();
+                let _ = model.forward_backward(&x, &y);
+                kaisa_trainer::allreduce_gradients(&mut model, comm, 1);
+                kfac.step(&mut model, comm, 0.05);
+            }
+            kfac.memory_meter().clone()
+        })
+    };
+    let dense = run(false);
+    let shard = run(true);
+    let table: Vec<Vec<String>> = MemoryCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let d = dense.iter().map(|m| m.peak(cat)).max().unwrap_or(0);
+            let s = shard.iter().map(|m| m.peak(cat)).max().unwrap_or(0);
+            let ratio =
+                if d > 0 { format!("{:.0}%", 100.0 * s as f64 / d as f64) } else { "-".into() };
+            vec![cat.name().to_string(), format!("{d}"), format!("{s}"), ratio]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["category", "dense peak B", "sharded peak B", "shard/dense"], &table)
+    );
+    println!("(peaks are the max over ranks; shard-resident accumulation keeps only owned");
+    println!(" factor sections per rank, so the factor row drops well below 100%)");
+}
 
 fn main() {
     println!("Table 5 — simulated per-GPU memory on 64 V100s (MB)\n");
@@ -53,4 +114,5 @@ fn main() {
     println!("\nShape checks: K-FAC overhead grows with frac for every model; the");
     println!("max/min overhead ratio is 1.5-2.9x; Mask R-CNN's overhead is by far");
     println!("the smallest (only the ROI heads are preconditioned).");
+    live_meter();
 }

@@ -39,6 +39,7 @@
 
 mod assignment;
 mod config;
+mod memory;
 pub mod pipeline;
 mod preconditioner;
 pub mod runtime;
@@ -49,12 +50,13 @@ pub use assignment::{
     plan_assignments, plan_assignments_with, AssignmentStrategy, LayerAssignment, WorkPlan,
 };
 pub use config::{KfacConfig, KfacConfigBuilder};
+pub use memory::{MemoryCategory, MemoryMeter};
 pub use pipeline::{
     priority_sweep_order, ComputeRates, PipelineStage, StepModel, StepModelOptions, TaskGraph,
 };
 pub use preconditioner::Kfac;
 pub use runtime::{modeled_cross_iter_makespans, CrossIterModel, CrossStage, OverlapMode};
-pub use state::KfacLayerState;
+pub use state::{KfacLayerState, PackedFactor};
 pub use timing::{Stage, StageTimes, KFAC_STAGES};
 
 /// Distribution strategy implied by a `grad_worker_frac` (Section 3.1).

@@ -26,7 +26,8 @@ use kaisa_tensor::Matrix;
 
 use crate::preconditioner::{factor_shards, reassemble_gathered_payload, Kfac};
 use crate::state::{
-    factor_payload_len, pack_factor_payload, unpack_factor_payload, KfacLayerState,
+    factor_payload_len, pack_factor_payload, pack_factor_payload_scaled_into,
+    unpack_factor_payload, KfacLayerState,
 };
 use crate::timing::Stage;
 
@@ -118,14 +119,16 @@ impl Kfac {
                 self.states[i].update_factors(a_new, g_new, decay);
             });
         }
+        self.note_factor_residency();
     }
 
-    /// Pipelined *sharded* factor update: sweep A finalizes statistics and
-    /// begins every layer's reduce-scatter (the `A` section toward the
-    /// layer's A-eigendecomposition worker, the `G` section toward its
-    /// G-worker); sweep B completes the shards, folds the gather-free layers,
-    /// and begins the direct-inverse fallback's worker-group regathers;
-    /// sweep C completes those and folds on the A workers.
+    /// Pipelined *sharded* factor update: sweep A scales-and-packs each
+    /// layer's statistics into its packed staging buffer and begins the
+    /// reduce-scatter (the `A` section toward the layer's
+    /// A-eigendecomposition worker, the `G` section toward its G-worker);
+    /// sweep B completes the shards, folds the gather-free layers in packed
+    /// space, and begins the direct-inverse fallback's worker-group
+    /// regathers; sweep C completes those and folds on the A workers.
     pub(crate) fn update_factors_sharded_pipelined(
         &mut self,
         layers: &mut [&mut dyn kaisa_nn::KfacAble],
@@ -153,21 +156,24 @@ impl Kfac {
                     layer.layer_name()
                 )
             });
-            let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+            let mut staging = std::mem::take(&mut self.staging[i]);
+            let split = self.times.time_layer(i, Stage::FactorCompute, || {
                 let inv = 1.0 / stats.batches.max(1) as f32;
-                let mut a = stats.a_stat;
-                a.scale(inv);
-                let mut g = stats.g_stat;
-                g.scale(inv);
-                (a, g)
+                pack_factor_payload_scaled_into(
+                    &mut staging,
+                    &stats.a_stat,
+                    &stats.g_stat,
+                    inv,
+                    triangular,
+                    precision,
+                )
             });
+            let total = staging.len();
             let asn = self.plan.layers[i].clone();
             let entry = self.times.time_layer(i, Stage::FactorComm, || {
-                let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
-                let total = buf.len();
                 let shards = factor_shards(&asn, split, total);
                 let pending = comm.begin_reduce_scatter(
-                    &buf,
+                    &staging,
                     ReduceOp::Avg,
                     &world_group,
                     &shards,
@@ -175,6 +181,9 @@ impl Kfac {
                 );
                 InFlight { layer: i, pending, split, total }
             });
+            // The begin copies the payload; the staging buffer is free for
+            // the next factor step the moment the collective is in flight.
+            self.staging[i] = staging;
             inflight.push(entry);
         }
 
@@ -254,6 +263,7 @@ impl Kfac {
             if self.cfg.ekfac {
                 self.states[i].ekfac_scale = None;
             }
+            self.note_decomposition_transients(i);
             if !use_eigen {
                 if rank == asn.a_worker {
                     self.times.time_layer(i, Stage::EigCompute, || {

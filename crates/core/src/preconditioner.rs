@@ -23,10 +23,11 @@ use kaisa_tensor::Matrix;
 
 use crate::assignment::{plan_assignments_with, LayerAssignment, WorkPlan};
 use crate::config::KfacConfig;
+use crate::memory::{MemoryCategory, MemoryMeter};
 use crate::pipeline::{priority_sweep_order, ComputeRates, StepModelOptions};
 use crate::state::{
-    factor_payload_len, pack_factor_payload, unpack_factor_payload, unpack_factor_section,
-    KfacLayerState,
+    factor_payload_len, pack_factor_payload, pack_factor_payload_scaled_into, quantize_slice,
+    unpack_factor_payload, KfacLayerState,
 };
 use crate::timing::{Stage, StageTimes};
 use crate::DistStrategy;
@@ -71,6 +72,13 @@ pub struct Kfac {
     /// The in-progress task-runtime step between `step_begin` and
     /// `step_finish` (`async_runtime` only).
     pub(crate) runtime_step: Option<crate::runtime::executor::RuntimeStep>,
+    /// Live per-category resident-byte meter for this rank (the measured
+    /// counterpart of the analytic `memory_bytes` model).
+    pub(crate) mem: MemoryMeter,
+    /// Per-layer packed staging buffers the sharded path scales-and-packs
+    /// captured statistics into, reused across factor steps (empty on the
+    /// dense path).
+    pub(crate) staging: Vec<Vec<f32>>,
 }
 
 impl Kfac {
@@ -124,6 +132,7 @@ impl Kfac {
         } else {
             (0..dims.len()).collect()
         };
+        let n_layers = dims.len();
         let kfac = Kfac {
             cfg,
             plan,
@@ -135,6 +144,8 @@ impl Kfac {
             comm_bytes: 0,
             sweep_order,
             runtime_step: None,
+            mem: MemoryMeter::new(),
+            staging: vec![Vec::new(); n_layers],
         };
         // Step 0 updates factors, so the very first forward must capture.
         model.set_kfac_capture(true);
@@ -177,6 +188,61 @@ impl Kfac {
     /// metric.
     pub fn memory_bytes(&self) -> usize {
         self.states.iter().map(|s| s.memory_bytes(self.cfg.precision)).sum()
+    }
+
+    /// The live per-rank memory meter: peak/current resident bytes per
+    /// category at the storage precision. Where [`Kfac::memory_bytes`]
+    /// models the analytic Table 5 overhead, the meter *measures* what this
+    /// rank actually held — including the transient square factors
+    /// shard-resident decomposition materializes.
+    pub fn memory_meter(&self) -> &MemoryMeter {
+        &self.mem
+    }
+
+    /// Refresh the meter's factor residency from the per-layer state;
+    /// called after every factor fold on every executor.
+    pub(crate) fn note_factor_residency(&mut self) {
+        let p = self.cfg.precision;
+        let bytes = self.states.iter().map(|s| s.factor_memory_bytes(p)).sum();
+        self.mem.set(MemoryCategory::Factors, bytes);
+    }
+
+    /// Refresh the meter's eigen-cache and packed-staging residency; called
+    /// once per completed step (both quantities are stable between steps).
+    pub(crate) fn note_step_residency(&mut self) {
+        let p = self.cfg.precision;
+        let eig = self.states.iter().map(|s| s.eigen_memory_bytes(p)).sum();
+        self.mem.set(MemoryCategory::Eigens, eig);
+        let staging: usize = self.staging.iter().map(|b| b.len() * p.bytes_per_element()).sum();
+        self.mem.set(MemoryCategory::PackedStaging, staging);
+    }
+
+    /// Record the transient square-factor materializations this rank's
+    /// decomposition work for layer `i` is about to perform on
+    /// shard-resident state (a no-op when the squares are dense-resident).
+    pub(crate) fn note_decomposition_transients(&mut self, i: usize) {
+        let b = self.cfg.precision.bytes_per_element();
+        let s = &self.states[i];
+        let asn = &self.plan.layers[i];
+        let a_sq =
+            if s.factor_a.is_none() && s.packed_a.is_some() { s.a_dim * s.a_dim * b } else { 0 };
+        let g_sq =
+            if s.factor_g.is_none() && s.packed_g.is_some() { s.g_dim * s.g_dim * b } else { 0 };
+        let transient = if self.cfg.use_eigen {
+            // eig_a and eig_g each drop their square before the other
+            // materializes, even on a co-located worker: peak is the max.
+            let a = if self.rank == asn.a_worker { a_sq } else { 0 };
+            let g = if self.rank == asn.g_worker { g_sq } else { 0 };
+            a.max(g)
+        } else if self.rank == asn.a_worker {
+            // compute_inverses holds both damped squares simultaneously.
+            a_sq + g_sq
+        } else {
+            0
+        };
+        if transient > 0 {
+            self.mem.transient(MemoryCategory::Factors, transient);
+        }
     }
 
     /// Arm statistic capture on the model if the *upcoming* step is a
@@ -241,6 +307,7 @@ impl Kfac {
             self.precondition_and_scale(&mut layers, comm, lr);
         }
 
+        self.note_step_residency();
         self.steps += 1;
         self.times.steps += 1;
     }
@@ -287,15 +354,19 @@ impl Kfac {
                 self.states[i].update_factors(a_new, g_new, decay);
             });
         }
+        self.note_factor_residency();
     }
 
-    /// Stage 1 (serial executor, sharded): finalize statistics, then
-    /// reduce-scatter each layer's packed payload so the `A` section lands
-    /// only on the layer's A-eigendecomposition worker and the `G` section
-    /// on its G-worker. Non-workers never rematerialize (or store) the
-    /// averaged factors. The direct-inverse fallback additionally regathers
-    /// the payload within the (≤2-rank) eigendecomposition worker group,
-    /// because its solver consumes both factors on one rank.
+    /// Stage 1 (serial executor, sharded): scale-and-pack each layer's
+    /// captured statistics straight into its packed staging buffer (no
+    /// scaled square matrices materialized), then reduce-scatter from there
+    /// so the `A` section lands only on the layer's A-eigendecomposition
+    /// worker and the `G` section on its G-worker. Owners fold their
+    /// averaged sections into shard-resident packed running averages;
+    /// non-workers never materialize (or store) the factors. The
+    /// direct-inverse fallback additionally regathers the payload within
+    /// the (≤2-rank) eigendecomposition worker group, because its solver
+    /// consumes both factors on one rank.
     fn update_factors_sharded(
         &mut self,
         layers: &mut [&mut dyn kaisa_nn::KfacAble],
@@ -312,22 +383,25 @@ impl Kfac {
                     layer.layer_name()
                 )
             });
-            let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+            let mut staging = std::mem::take(&mut self.staging[i]);
+            let split = self.times.time_layer(i, Stage::FactorCompute, || {
                 let inv = 1.0 / stats.batches.max(1) as f32;
-                let mut a = stats.a_stat;
-                a.scale(inv);
-                let mut g = stats.g_stat;
-                g.scale(inv);
-                (a, g)
+                pack_factor_payload_scaled_into(
+                    &mut staging,
+                    &stats.a_stat,
+                    &stats.g_stat,
+                    inv,
+                    triangular,
+                    precision,
+                )
             });
+            let total = staging.len();
 
             let asn = self.plan.layers[i].clone();
-            let (owned, split, total) = self.times.time_layer(i, Stage::FactorComm, || {
-                let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
-                let total = buf.len();
+            let owned = self.times.time_layer(i, Stage::FactorComm, || {
                 let shards = factor_shards(&asn, split, total);
                 let pending = comm.begin_reduce_scatter(
-                    &buf,
+                    &staging,
                     ReduceOp::Avg,
                     &world_group,
                     &shards,
@@ -337,8 +411,11 @@ impl Kfac {
                     shards.iter().filter(|s| s.owner == rank).map(|s| s.len).sum();
                 let mut owned = vec![0.0f32; owned_len];
                 comm.complete(pending, &mut owned);
-                (owned, split, total)
+                owned
             });
+            // `begin_reduce_scatter` copies the payload, so the staging
+            // buffer is reusable as soon as the begin returns.
+            self.staging[i] = staging;
             self.comm_bytes += (owned.len() * precision.bytes_per_element()) as u64;
 
             if self.needs_factor_gather(&asn) {
@@ -369,11 +446,12 @@ impl Kfac {
         !self.cfg.use_eigen && asn.a_worker != asn.g_worker
     }
 
-    /// Fold a rank's owned shard sections into its running factors (the
-    /// gather-free sharded fold): the A worker folds the `A` section, the G
-    /// worker the `G` section; a rank owning both folds both. Section-wise
-    /// quantization is elementwise, so this is bitwise identical to the
-    /// dense path's whole-payload unpack-and-fold.
+    /// Fold a rank's owned shard sections into its shard-resident packed
+    /// running factors (the gather-free sharded fold): the A worker folds
+    /// the `A` section, the G worker the `G` section; a rank owning both
+    /// folds both. No square matrix is materialized — the section is
+    /// re-quantized (elementwise, so bitwise identical to the dense path's
+    /// whole-payload quantization) and EMA-folded in the packed layout.
     pub(crate) fn fold_owned_sections(
         &mut self,
         i: usize,
@@ -386,14 +464,12 @@ impl Kfac {
         let precision = self.cfg.precision;
         let triangular = self.cfg.triangular_comm;
         let rank = self.rank;
-        let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
         debug_assert!(owned.is_empty() || rank == asn.a_worker || rank == asn.g_worker);
         if rank == asn.a_worker {
-            let a_new = self.times.time_layer(i, Stage::FactorCompute, || {
-                unpack_factor_section(&mut owned[..split], a_dim, triangular, precision)
-            });
             self.times.time_layer(i, Stage::FactorCompute, || {
-                self.states[i].update_factor_a(a_new, decay)
+                let section = &mut owned[..split];
+                quantize_slice(section, precision);
+                self.states[i].update_packed_a(section, triangular, decay);
             });
         }
         if rank == asn.g_worker {
@@ -401,23 +477,19 @@ impl Kfac {
             // both shards; a G-only owner holds just its own section.
             let offset = if asn.a_worker == asn.g_worker { split } else { 0 };
             let g_len = total - split;
-            let g_new = self.times.time_layer(i, Stage::FactorCompute, || {
-                unpack_factor_section(
-                    &mut owned[offset..offset + g_len],
-                    g_dim,
-                    triangular,
-                    precision,
-                )
-            });
             self.times.time_layer(i, Stage::FactorCompute, || {
-                self.states[i].update_factor_g(g_new, decay)
+                let section = &mut owned[offset..offset + g_len];
+                quantize_slice(section, precision);
+                self.states[i].update_packed_g(section, triangular, decay);
             });
         }
+        self.note_factor_residency();
     }
 
     /// Fold a regathered full payload on the A worker (the direct-inverse
     /// fallback's fold — it alone runs `compute_inverses`, which consumes
-    /// both factors).
+    /// both factors). Both sections stay packed; whole-payload quantization
+    /// matches the dense path's [`unpack_factor_payload`] bit for bit.
     pub(crate) fn fold_gathered_payload(&mut self, i: usize, mut payload: Vec<f32>, split: usize) {
         let asn = self.plan.layers[i].clone();
         if self.rank != asn.a_worker {
@@ -426,13 +498,12 @@ impl Kfac {
         let decay = self.cfg.factor_decay;
         let precision = self.cfg.precision;
         let triangular = self.cfg.triangular_comm;
-        let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
-        let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
-            unpack_factor_payload(&mut payload, split, a_dim, g_dim, triangular, precision)
-        });
         self.times.time_layer(i, Stage::FactorCompute, || {
-            self.states[i].update_factors(a_new, g_new, decay)
+            quantize_slice(&mut payload, precision);
+            self.states[i].update_packed_a(&payload[..split], triangular, decay);
+            self.states[i].update_packed_g(&payload[split..], triangular, decay);
         });
+        self.note_factor_residency();
     }
 
     /// Stage 2: recompute decompositions on assigned workers and broadcast.
@@ -453,6 +524,7 @@ impl Kfac {
             if self.cfg.ekfac {
                 self.states[i].ekfac_scale = None;
             }
+            self.note_decomposition_transients(i);
 
             if !use_eigen {
                 // Eq. 12–14 fallback: damped direct inverses computed on the
@@ -697,6 +769,9 @@ impl Kfac {
         preconditioned: Vec<Matrix>,
         lr: f32,
     ) {
+        let eb = self.cfg.precision.bytes_per_element();
+        let precond_bytes = preconditioned.iter().map(|m| m.numel()).sum::<usize>() * eb;
+        self.mem.set(MemoryCategory::PrecondGrads, precond_bytes);
         self.times.time(Stage::Scale, || {
             let nu = match self.cfg.kl_clip {
                 None => 1.0,
@@ -719,6 +794,8 @@ impl Kfac {
                 layer.set_combined_grad(&p);
             }
         });
+        // The preconditioned copies are written back and dropped.
+        self.mem.set(MemoryCategory::PrecondGrads, 0);
     }
 }
 

@@ -1,7 +1,7 @@
 //! The runtime executor: `Kfac::step` as a DAG of polled task units.
 //!
 //! Each phase of the K-FAC step decomposes into per-layer tasks (see
-//! [`TaskKind`]): a *begin* task packs data and initiates the phase's
+//! `TaskKind`): a *begin* task packs data and initiates the phase's
 //! collective, a *complete* task polls its readiness, consumes the payload,
 //! and folds it into state, and pure-compute tasks (eigensolves,
 //! preconditioning) sit between them. The [`Scheduler`] runs these in data
@@ -28,7 +28,8 @@ use crate::pipeline::executor::LayerBcasts;
 use crate::preconditioner::{factor_shards, reassemble_gathered_payload, Kfac};
 use crate::runtime::scheduler::{Scheduler, TaskPoll};
 use crate::state::{
-    factor_payload_len, pack_factor_payload, unpack_factor_payload, KfacLayerState,
+    factor_payload_len, pack_factor_payload, pack_factor_payload_scaled_into,
+    unpack_factor_payload, KfacLayerState,
 };
 use crate::timing::Stage;
 
@@ -380,6 +381,7 @@ impl Kfac {
         ctx.grads = layers.iter().map(|l| l.combined_grad()).collect();
         sched.release_all();
         sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, lr));
+        self.note_step_residency();
         self.steps += 1;
         self.times.steps += 1;
     }
@@ -406,31 +408,51 @@ impl Kfac {
                         layer.layer_name()
                     )
                 });
-                let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
-                    let inv = 1.0 / stats.batches.max(1) as f32;
-                    let mut a = stats.a_stat;
-                    a.scale(inv);
-                    let mut g = stats.g_stat;
-                    g.scale(inv);
-                    (a, g)
-                });
                 let world_group: Vec<usize> = (0..self.world).collect();
-                let sharded = self.cfg.sharded_factors;
-                let asn = self.plan.layers[i].clone();
-                let entry = self.times.time_layer(i, Stage::FactorComm, || {
-                    let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
-                    let total = buf.len();
-                    if sharded {
+                if self.cfg.sharded_factors {
+                    // Scale-and-pack straight into the reusable staging
+                    // buffer; no scaled square statistics materialize.
+                    let asn = self.plan.layers[i].clone();
+                    let mut staging = std::mem::take(&mut self.staging[i]);
+                    let split = self.times.time_layer(i, Stage::FactorCompute, || {
+                        let inv = 1.0 / stats.batches.max(1) as f32;
+                        pack_factor_payload_scaled_into(
+                            &mut staging,
+                            &stats.a_stat,
+                            &stats.g_stat,
+                            inv,
+                            triangular,
+                            precision,
+                        )
+                    });
+                    let total = staging.len();
+                    let entry = self.times.time_layer(i, Stage::FactorComm, || {
                         let shards = factor_shards(&asn, split, total);
                         let pending = comm.begin_reduce_scatter(
-                            &buf,
+                            &staging,
                             ReduceOp::Avg,
                             &world_group,
                             &shards,
                             CommTag::FactorReduce,
                         );
                         FactorInFlight { pending, buf: Vec::new(), split, total }
-                    } else {
+                    });
+                    // The begin copies the payload, so staging is reusable.
+                    self.staging[i] = staging;
+                    ctx.factor[i] = Some(entry);
+                } else {
+                    let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+                        let inv = 1.0 / stats.batches.max(1) as f32;
+                        let mut a = stats.a_stat;
+                        a.scale(inv);
+                        let mut g = stats.g_stat;
+                        g.scale(inv);
+                        (a, g)
+                    });
+                    let entry = self.times.time_layer(i, Stage::FactorComm, || {
+                        let (buf, split) =
+                            pack_factor_payload(&a_new, &g_new, triangular, precision);
+                        let total = buf.len();
                         let pending = comm.begin_allreduce(
                             &buf,
                             ReduceOp::Avg,
@@ -438,9 +460,9 @@ impl Kfac {
                             CommTag::FactorComm,
                         );
                         FactorInFlight { pending, buf, split, total }
-                    }
-                });
-                ctx.factor[i] = Some(entry);
+                    });
+                    ctx.factor[i] = Some(entry);
+                }
                 TaskPoll::Done
             }
             TaskKind::FactorDenseComplete(i) => {
@@ -467,6 +489,7 @@ impl Kfac {
                 self.times.time_layer(i, Stage::FactorCompute, || {
                     self.states[i].update_factors(a_new, g_new, decay);
                 });
+                self.note_factor_residency();
                 TaskPoll::Done
             }
             TaskKind::FactorShardComplete(i) => {
@@ -527,6 +550,7 @@ impl Kfac {
                 if self.cfg.ekfac {
                     self.states[i].ekfac_scale = None;
                 }
+                self.note_decomposition_transients(i);
                 if !self.cfg.use_eigen {
                     if rank == asn.a_worker {
                         self.times.time_layer(i, Stage::EigCompute, || {

@@ -66,21 +66,102 @@ pub fn factor_payload_len(a_rows: usize, g_rows: usize, triangular: bool) -> usi
     }
 }
 
-/// Rebuild one factor matrix from its section of a sharded payload (the
-/// `FactorReduce` *complete* task body on a shard owner). Quantization is
-/// elementwise, so re-quantizing a section alone is bitwise identical to the
-/// dense path's whole-payload [`unpack_factor_payload`].
-pub fn unpack_factor_section(
-    section: &mut [f32],
-    rows: usize,
+/// Wire-layout element count of a single factor section.
+pub fn packed_factor_len(rows: usize, triangular: bool) -> usize {
+    if triangular {
+        packed_len(rows)
+    } else {
+        rows * rows
+    }
+}
+
+/// Pack both batch factors into `buf` (cleared and reused across factor
+/// steps), scaling every element by `scale` during the copy, then quantize
+/// to the storage precision. Returns the element index where the `G`
+/// section starts.
+///
+/// This fuses the dense reference's `scale()` + [`pack_factor_payload`]
+/// into one pass over the statistics so the sharded path can stage its
+/// reduce-scatter payload without materializing scaled square matrices.
+/// `x * scale` per element is the exact product `Matrix::scale` computes,
+/// and quantization still runs over the identical packed values, so the
+/// staged payload is bitwise identical to the dense reference's.
+pub fn pack_factor_payload_scaled_into(
+    buf: &mut Vec<f32>,
+    a: &Matrix,
+    g: &Matrix,
+    scale: f32,
     triangular: bool,
     precision: Precision,
-) -> Matrix {
-    quantize_slice(section, precision);
+) -> usize {
+    buf.clear();
     if triangular {
-        unpack_upper(section, rows)
+        for m in [a, g] {
+            for r in 0..m.rows() {
+                buf.extend(m.row(r)[r..].iter().map(|&x| x * scale));
+            }
+        }
     } else {
-        Matrix::from_vec(rows, rows, section.to_vec())
+        buf.extend(a.as_slice().iter().map(|&x| x * scale));
+        buf.extend(g.as_slice().iter().map(|&x| x * scale));
+    }
+    let split = packed_factor_len(a.rows(), triangular);
+    quantize_slice(buf, precision);
+    split
+}
+
+/// A factor running average stored in its packed wire layout — exactly the
+/// shard section a reduce-scatter delivers (flat row-major square, or the
+/// upper triangle under `triangular_comm`) — so shard owners never hold a
+/// square matrix between decomposition steps.
+#[derive(Debug, Clone)]
+pub struct PackedFactor {
+    /// Packed elements at the storage precision (quantized in place).
+    pub data: Vec<f32>,
+    /// Whether `data` is an upper-triangle packing (Section 4.3) rather
+    /// than a flat row-major square.
+    pub triangular: bool,
+}
+
+impl PackedFactor {
+    /// Materialize the square symmetric matrix this packing represents.
+    /// Unpacking mirrors bit-equal elements, so the result is bitwise
+    /// identical to a square matrix maintained by the same folds.
+    pub fn to_matrix(&self, rows: usize) -> Matrix {
+        debug_assert_eq!(self.data.len(), packed_factor_len(rows, self.triangular));
+        if self.triangular {
+            unpack_upper(&self.data, rows)
+        } else {
+            Matrix::from_vec(rows, rows, self.data.clone())
+        }
+    }
+}
+
+/// The single EMA fold kernel for square factor state: first fold moves the
+/// fresh matrix in, later folds compute `x ← (1-decay)·x̂ + decay·x` — the
+/// exact `axpby` expression, so every square path shares one semantics.
+fn ema_fold_matrix(slot: &mut Option<Matrix>, fresh: Matrix, decay: f32) {
+    match slot {
+        Some(m) => m.axpby(1.0 - decay, &fresh, decay),
+        None => *slot = Some(fresh),
+    }
+}
+
+/// The packed-space twin of [`ema_fold_matrix`]: identical first-fold and
+/// decay semantics, applied elementwise to the packed layout. Because the
+/// EMA is elementwise and square/packed layouts hold bit-equal elements,
+/// folding here then unpacking is bitwise identical to unpacking then
+/// folding in square space.
+fn ema_fold_packed(slot: &mut Option<PackedFactor>, fresh: &[f32], triangular: bool, decay: f32) {
+    match slot {
+        Some(p) => {
+            debug_assert_eq!(p.triangular, triangular, "packed layout changed mid-run");
+            debug_assert_eq!(p.data.len(), fresh.len());
+            for (x, f) in p.data.iter_mut().zip(fresh) {
+                *x = (1.0 - decay) * *f + decay * *x;
+            }
+        }
+        None => *slot = Some(PackedFactor { data: fresh.to_vec(), triangular }),
     }
 }
 
@@ -100,10 +181,16 @@ pub struct KfacLayerState {
     pub a_dim: usize,
     /// `G` factor dimension.
     pub g_dim: usize,
-    /// Running average of `A = E[a aᵀ]`.
+    /// Running average of `A = E[a aᵀ]` in square form (dense path; `None`
+    /// everywhere on the shard-resident path).
     pub factor_a: Option<Matrix>,
-    /// Running average of `G = E[g gᵀ]`.
+    /// Running average of `G = E[g gᵀ]` in square form (dense path).
     pub factor_g: Option<Matrix>,
+    /// Shard-resident running average of `A`, kept in the packed wire
+    /// layout on the layer's A-eigendecomposition worker only.
+    pub packed_a: Option<PackedFactor>,
+    /// Shard-resident running average of `G`, on the G-worker only.
+    pub packed_g: Option<PackedFactor>,
     /// Eigenvectors of `A` (columns), cached on gradient workers.
     pub qa: Option<Matrix>,
     /// Eigenvectors of `G` (columns), cached on gradient workers.
@@ -136,6 +223,8 @@ impl KfacLayerState {
             g_dim,
             factor_a: None,
             factor_g: None,
+            packed_a: None,
+            packed_g: None,
             qa: None,
             qg: None,
             outer: None,
@@ -155,38 +244,82 @@ impl KfacLayerState {
     }
 
     /// Fold only the `A` running average (sharded reduction: each factor is
-    /// folded on its owning eigendecomposition worker alone).
+    /// folded on its owning eigendecomposition worker alone). Shares its
+    /// first-fold/decay semantics with [`KfacLayerState::update_factors`]
+    /// through the single `ema_fold_matrix` kernel.
     pub fn update_factor_a(&mut self, a_new: Matrix, decay: f32) {
         debug_assert_eq!(a_new.shape(), (self.a_dim, self.a_dim));
-        match &mut self.factor_a {
-            Some(a) => a.axpby(1.0 - decay, &a_new, decay),
-            None => self.factor_a = Some(a_new),
-        }
+        ema_fold_matrix(&mut self.factor_a, a_new, decay);
     }
 
     /// Fold only the `G` running average.
     pub fn update_factor_g(&mut self, g_new: Matrix, decay: f32) {
         debug_assert_eq!(g_new.shape(), (self.g_dim, self.g_dim));
-        match &mut self.factor_g {
-            Some(g) => g.axpby(1.0 - decay, &g_new, decay),
-            None => self.factor_g = Some(g_new),
+        ema_fold_matrix(&mut self.factor_g, g_new, decay);
+    }
+
+    /// Fold a freshly-averaged packed `A` section straight into the
+    /// shard-resident running average — decay applied in packed space, no
+    /// square matrix materialized.
+    pub fn update_packed_a(&mut self, section: &[f32], triangular: bool, decay: f32) {
+        debug_assert_eq!(section.len(), packed_factor_len(self.a_dim, triangular));
+        ema_fold_packed(&mut self.packed_a, section, triangular, decay);
+    }
+
+    /// Fold a freshly-averaged packed `G` section into the shard-resident
+    /// running average.
+    pub fn update_packed_g(&mut self, section: &[f32], triangular: bool, decay: f32) {
+        debug_assert_eq!(section.len(), packed_factor_len(self.g_dim, triangular));
+        ema_fold_packed(&mut self.packed_g, section, triangular, decay);
+    }
+
+    /// Materialize the square running `A` factor: a clone of the dense
+    /// matrix when held square, otherwise a transient unpacking of the
+    /// shard-resident state.
+    ///
+    /// # Panics
+    /// If no factor has been accumulated yet.
+    pub fn square_factor_a(&self) -> Matrix {
+        match (&self.factor_a, &self.packed_a) {
+            (Some(a), _) => a.clone(),
+            (None, Some(p)) => p.to_matrix(self.a_dim),
+            (None, None) => panic!("A factor not yet accumulated"),
         }
     }
 
-    /// Eigendecompose the running `A` factor; returns `(Q_A, v_A)`.
+    /// Materialize the square running `G` factor.
+    pub fn square_factor_g(&self) -> Matrix {
+        match (&self.factor_g, &self.packed_g) {
+            (Some(g), _) => g.clone(),
+            (None, Some(p)) => p.to_matrix(self.g_dim),
+            (None, None) => panic!("G factor not yet accumulated"),
+        }
+    }
+
+    /// Eigendecompose the running `A` factor; returns `(Q_A, v_A)`. On the
+    /// shard-resident path the square input is materialized transiently
+    /// here and dropped with the call.
     ///
     /// # Panics
     /// If no factor has been accumulated yet.
     pub fn eig_a(&self) -> (Matrix, Vec<f32>) {
-        let a = self.factor_a.as_ref().expect("A factor not yet accumulated");
-        let eig = sym_eig(a).expect("A factor eigendecomposition failed");
+        let eig = match (&self.factor_a, &self.packed_a) {
+            (Some(a), _) => sym_eig(a),
+            (None, Some(p)) => sym_eig(&p.to_matrix(self.a_dim)),
+            (None, None) => panic!("A factor not yet accumulated"),
+        };
+        let eig = eig.expect("A factor eigendecomposition failed");
         (eig.vectors, eig.values)
     }
 
     /// Eigendecompose the running `G` factor; returns `(Q_G, v_G)`.
     pub fn eig_g(&self) -> (Matrix, Vec<f32>) {
-        let g = self.factor_g.as_ref().expect("G factor not yet accumulated");
-        let eig = sym_eig(g).expect("G factor eigendecomposition failed");
+        let eig = match (&self.factor_g, &self.packed_g) {
+            (Some(g), _) => sym_eig(g),
+            (None, Some(p)) => sym_eig(&p.to_matrix(self.g_dim)),
+            (None, None) => panic!("G factor not yet accumulated"),
+        };
+        let eig = eig.expect("G factor eigendecomposition failed");
         (eig.vectors, eig.values)
     }
 
@@ -201,9 +334,9 @@ impl KfacLayerState {
     /// Compute the damped direct inverses `(A+γI)⁻¹`, `(G+γI)⁻¹` of Eq. 12
     /// (the non-eigendecomposition fallback).
     pub fn compute_inverses(&mut self, damping: f32) {
-        let mut a = self.factor_a.clone().expect("A factor not yet accumulated");
+        let mut a = self.square_factor_a();
         a.add_diag(damping);
-        let mut g = self.factor_g.clone().expect("G factor not yet accumulated");
+        let mut g = self.square_factor_g();
         g.add_diag(damping);
         self.inv_a = Some(spd_inverse(&a).expect("damped A must be SPD"));
         self.inv_g = Some(spd_inverse(&g).expect("damped G must be SPD"));
@@ -279,16 +412,23 @@ impl KfacLayerState {
         inv_g.matmul(grad).matmul(inv_a)
     }
 
-    /// Bytes of K-FAC state held on this rank at the given storage
-    /// precision — the quantity summed into the paper's "K-FAC memory
-    /// overhead" (Table 5 / Figure 6).
-    pub fn memory_bytes(&self, precision: Precision) -> usize {
+    /// Bytes of running factor state held on this rank at the given storage
+    /// precision: square matrices on the dense path, packed shard sections
+    /// on the shard-resident path.
+    pub fn factor_memory_bytes(&self, precision: Precision) -> usize {
+        let b = precision.bytes_per_element();
+        let mat = |m: &Option<Matrix>| m.as_ref().map_or(0, |m| m.numel() * b);
+        let packed = |p: &Option<PackedFactor>| p.as_ref().map_or(0, |p| p.data.len() * b);
+        mat(&self.factor_a) + mat(&self.factor_g) + packed(&self.packed_a) + packed(&self.packed_g)
+    }
+
+    /// Bytes of cached decomposition state (eigenvectors, outer product,
+    /// direct inverses, eigenvalue vectors, EK-FAC corrected moments).
+    pub fn eigen_memory_bytes(&self, precision: Precision) -> usize {
         let b = precision.bytes_per_element();
         let mat = |m: &Option<Matrix>| m.as_ref().map_or(0, |m| m.numel() * b);
         let vec = |v: &Option<Vec<f32>>| v.as_ref().map_or(0, |v| v.len() * b);
-        mat(&self.factor_a)
-            + mat(&self.factor_g)
-            + mat(&self.qa)
+        mat(&self.qa)
             + mat(&self.qg)
             + mat(&self.outer)
             + mat(&self.inv_a)
@@ -296,6 +436,13 @@ impl KfacLayerState {
             + mat(&self.ekfac_scale)
             + vec(&self.va)
             + vec(&self.vg)
+    }
+
+    /// Bytes of K-FAC state held on this rank at the given storage
+    /// precision — the quantity summed into the paper's "K-FAC memory
+    /// overhead" (Table 5 / Figure 6).
+    pub fn memory_bytes(&self, precision: Precision) -> usize {
+        self.factor_memory_bytes(precision) + self.eigen_memory_bytes(precision)
     }
 }
 
@@ -322,6 +469,111 @@ mod tests {
         state.update_factors(a2, g1.clone(), 0.9);
         // 0.9*1 + 0.1*3 = 1.2 on the diagonal.
         assert!((state.factor_a.as_ref().unwrap().get(0, 0) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_fold_semantics_unified_across_paths() {
+        // update_factors, the single-factor updates, and the packed updates
+        // all route through one EMA kernel: the first fold is a plain
+        // move-in, later folds apply (1-decay)·fresh + decay·old. All three
+        // paths must agree bitwise, fold for fold.
+        let mut rng = Rng::seed_from_u64(208);
+        let decay = 0.95;
+        let folds: Vec<(Matrix, Matrix)> =
+            (0..3).map(|_| (random_psd(4, &mut rng), random_psd(3, &mut rng))).collect();
+
+        let mut joint = KfacLayerState::new("joint", 4, 3);
+        let mut single = KfacLayerState::new("single", 4, 3);
+        let mut packed = KfacLayerState::new("packed", 4, 3);
+        for (a, g) in &folds {
+            joint.update_factors(a.clone(), g.clone(), decay);
+            single.update_factor_a(a.clone(), decay);
+            single.update_factor_g(g.clone(), decay);
+            packed.update_packed_a(a.as_slice(), false, decay);
+            packed.update_packed_g(g.as_slice(), false, decay);
+            assert_eq!(
+                joint.factor_a.as_ref().unwrap().as_slice(),
+                single.factor_a.as_ref().unwrap().as_slice()
+            );
+            assert_eq!(
+                joint.factor_g.as_ref().unwrap().as_slice(),
+                single.factor_g.as_ref().unwrap().as_slice()
+            );
+            assert_eq!(
+                joint.factor_a.as_ref().unwrap().as_slice(),
+                packed.square_factor_a().as_slice()
+            );
+            assert_eq!(
+                joint.factor_g.as_ref().unwrap().as_slice(),
+                packed.square_factor_g().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_triangular_fold_matches_square_fold_bitwise() {
+        // Folding in the triangular packed layout then unpacking must equal
+        // unpacking then folding in square space, bit for bit: the EMA is
+        // elementwise and unpack mirrors bit-equal elements.
+        let mut rng = Rng::seed_from_u64(209);
+        let decay = 0.9;
+        let mut square = KfacLayerState::new("sq", 5, 5);
+        let mut packed = KfacLayerState::new("pk", 5, 5);
+        for _ in 0..4 {
+            let fresh = random_psd(5, &mut rng);
+            let tri = pack_upper(&fresh);
+            square.update_factor_a(unpack_upper(&tri, 5), decay);
+            packed.update_packed_a(&tri, true, decay);
+            assert_eq!(
+                square.factor_a.as_ref().unwrap().as_slice(),
+                packed.square_factor_a().as_slice()
+            );
+        }
+        // The decomposition consumes identical inputs, so identical outputs.
+        let (q_sq, v_sq) = square.eig_a();
+        let (q_pk, v_pk) = packed.eig_a();
+        assert_eq!(q_sq.as_slice(), q_pk.as_slice());
+        assert_eq!(v_sq, v_pk);
+    }
+
+    #[test]
+    fn scaled_pack_matches_scale_then_pack() {
+        let mut rng = Rng::seed_from_u64(210);
+        let a = random_psd(5, &mut rng);
+        let g = random_psd(3, &mut rng);
+        let scale = 1.0 / 3.0f32;
+        for triangular in [false, true] {
+            for precision in [Precision::Fp32, Precision::Fp16] {
+                let mut a_scaled = a.clone();
+                a_scaled.scale(scale);
+                let mut g_scaled = g.clone();
+                g_scaled.scale(scale);
+                let (reference, ref_split) =
+                    pack_factor_payload(&a_scaled, &g_scaled, triangular, precision);
+                let mut fused = Vec::new();
+                let split = pack_factor_payload_scaled_into(
+                    &mut fused, &a, &g, scale, triangular, precision,
+                );
+                assert_eq!(split, ref_split, "tri={triangular} prec={precision:?}");
+                assert_eq!(fused, reference, "tri={triangular} prec={precision:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_split_separates_factors_from_eigens() {
+        let mut rng = Rng::seed_from_u64(214);
+        let mut state = KfacLayerState::new("split", 6, 4);
+        state.update_packed_a(&pack_upper(&random_psd(6, &mut rng)), true, 0.95);
+        assert_eq!(state.factor_memory_bytes(Precision::Fp32), packed_len(6) * 4);
+        assert_eq!(state.eigen_memory_bytes(Precision::Fp32), 0);
+        let (qa, _) = state.eig_a();
+        state.qa = Some(qa);
+        assert_eq!(state.eigen_memory_bytes(Precision::Fp32), 36 * 4);
+        assert_eq!(
+            state.memory_bytes(Precision::Fp32),
+            state.factor_memory_bytes(Precision::Fp32) + state.eigen_memory_bytes(Precision::Fp32)
+        );
     }
 
     /// Kronecker product (row-major convention): `(B ⊗ C) vec_row(X) =

@@ -173,6 +173,12 @@ pub struct MemoryBreakdown {
     pub activations: usize,
     /// K-FAC factors (replicated on every rank).
     pub factors: usize,
+    /// K-FAC factor bytes on the heaviest-loaded rank under shard-resident
+    /// accumulation (`sharded_factors`): each rank keeps only the packed
+    /// sections it eigendecomposes, so this replaces `factors` when the
+    /// sharded path is on (flat square wire layout; triangular packing
+    /// halves it further).
+    pub factors_sharded: usize,
     /// Eigendecomposition caches on the heaviest-loaded rank.
     pub eig_cache: usize,
 }
@@ -181,6 +187,12 @@ impl MemoryBreakdown {
     /// The paper's "K-FAC memory overhead": factors + eigendecompositions.
     pub fn kfac_overhead(&self) -> usize {
         self.factors + self.eig_cache
+    }
+
+    /// The K-FAC memory overhead under shard-resident factor accumulation:
+    /// the heaviest rank's owned packed sections + eigendecomposition cache.
+    pub fn kfac_overhead_sharded(&self) -> usize {
+        self.factors_sharded + self.eig_cache
     }
 
     /// Absolute per-rank training memory (Table 5's "Abs." columns).
@@ -334,19 +346,27 @@ impl Simulator {
                 * ACTIVATION_OVERHEAD_FACTOR
                 * if p.half_training { 0.5 } else { 1.0 }) as usize,
             factors: 0,
+            factors_sharded: 0,
             eig_cache: 0,
         };
         if p.kfac_enabled {
             let fb = p.factor_elem_bytes();
             out.factors = p.model.all_factor_bytes(fb);
-            // Eigendecomposition cache on the heaviest rank.
             let world = p.cluster.world;
+            // Shard-resident accumulation: each rank holds only the factor
+            // sections it eigendecomposes (A on the A worker, G on the G
+            // worker); report the heaviest rank.
+            let mut owned = vec![0usize; world];
+            // Eigendecomposition cache on the heaviest rank.
             let mut cache = vec![0usize; world];
             for (layer, asn) in p.model.layers.iter().zip(&self.plan.layers) {
+                owned[asn.a_worker] += layer.a_dim * layer.a_dim * fb;
+                owned[asn.g_worker] += layer.g_dim * layer.g_dim * fb;
                 for &r in &asn.gradient_workers {
                     cache[r] += layer.eig_bytes(fb);
                 }
             }
+            out.factors_sharded = owned.into_iter().max().unwrap_or(0);
             out.eig_cache = cache.into_iter().max().unwrap_or(0);
         }
         out
@@ -450,6 +470,26 @@ mod tests {
         assert!(lo < mid && mid < hi);
         let ratio = hi as f64 / lo as f64;
         assert!((1.3..3.2).contains(&ratio), "max/min overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn sharded_factor_residency_beats_replicated() {
+        // Shard-resident accumulation keeps only owned sections per rank:
+        // strictly below full replication at world > 1, equal at world 1.
+        let multi = rn50_sim(1.0).memory_breakdown();
+        assert!(multi.factors_sharded > 0);
+        assert!(
+            multi.factors_sharded < multi.factors,
+            "sharded {} should undercut replicated {}",
+            multi.factors_sharded,
+            multi.factors
+        );
+        assert!(multi.kfac_overhead_sharded() < multi.kfac_overhead());
+
+        let params = SimParams::baseline(ModelInventory::resnet50(), ClusterSpec::frontera(1), 32)
+            .with_kfac(1.0, 50, 500);
+        let solo = Simulator::new(params).memory_breakdown();
+        assert_eq!(solo.factors_sharded, solo.factors, "one rank owns everything");
     }
 
     #[test]

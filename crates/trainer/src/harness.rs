@@ -184,6 +184,7 @@ where
         if iterations > 0 { result.total_seconds / iterations as f64 } else { 0.0 };
     if let Some(kfac) = &kfac {
         result.kfac_memory_bytes = kfac.memory_bytes();
+        result.kfac_memory = Some(kfac.memory_meter().clone());
         result.kfac_comm_bytes = kfac.comm_bytes();
         result.stage_times = Some(kfac.stage_times().clone());
     }

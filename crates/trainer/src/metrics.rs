@@ -37,6 +37,10 @@ pub struct TrainResult {
     pub iterations: usize,
     /// K-FAC memory overhead on this rank (bytes; 0 without K-FAC).
     pub kfac_memory_bytes: usize,
+    /// The live per-rank K-FAC memory meter (peak/current resident bytes
+    /// per category), if K-FAC ran — the measured counterpart of
+    /// `kfac_memory_bytes`'s analytic model.
+    pub kfac_memory: Option<kaisa_core::MemoryMeter>,
     /// Logical K-FAC communication bytes at the storage precision.
     pub kfac_comm_bytes: u64,
     /// K-FAC stage timing (Figure 7 data), if K-FAC ran.

@@ -21,9 +21,27 @@ fn toy() -> (Mlp, Matrix, Vec<usize>) {
 /// One K-FAC step over the batch split into `chunks` micro-batches; returns
 /// the preconditioned gradients.
 fn kfac_step_with_accum(model: &Mlp, x: &Matrix, y: &[usize], chunks: usize) -> Vec<f32> {
+    kfac_step_with_accum_cfg(model, x, y, chunks, false, false)
+}
+
+/// Like [`kfac_step_with_accum`], with shard-resident factor accumulation
+/// and triangular wire layout toggles.
+fn kfac_step_with_accum_cfg(
+    model: &Mlp,
+    x: &Matrix,
+    y: &[usize],
+    chunks: usize,
+    sharded: bool,
+    triangular: bool,
+) -> Vec<f32> {
     let comm = LocalComm::new();
     let mut model = model.clone();
-    let cfg = KfacConfig::builder().factor_update_freq(1).inv_update_freq(1).build();
+    let cfg = KfacConfig::builder()
+        .factor_update_freq(1)
+        .inv_update_freq(1)
+        .sharded_factors(sharded)
+        .triangular_comm(triangular)
+        .build();
     let mut kfac = Kfac::new(cfg, &mut model, &comm);
     kfac.prepare(&mut model);
     model.zero_grad();
@@ -57,6 +75,21 @@ fn accumulated_step_matches_full_batch_step() {
     let d4 = max_rel_diff(&full, &accum4);
     assert!(d2 < 0.05, "accum=2 deviates by {d2}");
     assert!(d4 < 0.05, "accum=4 deviates by {d4}");
+}
+
+#[test]
+fn sharded_accumulated_step_bitwise_matches_dense() {
+    // Shard-resident packed accumulation must be *bitwise* identical to the
+    // dense reference under gradient accumulation — the fused
+    // scale-during-pack and packed-space decay fold reassociate nothing.
+    let (model, x, y) = toy();
+    for &chunks in &[2usize, 4] {
+        let dense = kfac_step_with_accum_cfg(&model, &x, &y, chunks, false, false);
+        let sharded = kfac_step_with_accum_cfg(&model, &x, &y, chunks, true, false);
+        assert_eq!(dense, sharded, "sharded deviates from dense at accum={chunks}");
+        let sharded_tri = kfac_step_with_accum_cfg(&model, &x, &y, chunks, true, true);
+        assert_eq!(dense, sharded_tri, "triangular sharded deviates from dense at accum={chunks}");
+    }
 }
 
 #[test]
