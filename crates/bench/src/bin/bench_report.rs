@@ -1,0 +1,218 @@
+//! Machine-readable runtime benchmark: serial vs pipelined vs task-runtime
+//! executors, plus a depth sweep of the cross-iteration window, written as
+//! `BENCH_runtime.json` for CI artifact archival and trend tracking.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin bench_report            # full
+//! cargo run --release -p kaisa-bench --bin bench_report -- --quick # CI
+//! cargo run --release -p kaisa-bench --bin bench_report -- --out path.json
+//! ```
+
+use std::time::Instant;
+
+use kaisa_comm::{ClusterNetwork, Communicator};
+use kaisa_core::{modeled_depth_makespans, Kfac, KfacConfig, MemoryCategory};
+use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
+use kaisa_nn::models::Mlp;
+use kaisa_nn::Model;
+use kaisa_tensor::Rng;
+
+/// Benchmark scale knobs (`--quick` shrinks everything for CI).
+struct Scale {
+    world: usize,
+    epochs: usize,
+    samples: usize,
+    quick: bool,
+}
+
+struct RunStats {
+    /// Wall-clock seconds of the whole training loop (rank-0 thread).
+    wall_seconds: f64,
+    /// Seconds spent inside K-FAC stage timers, summed over stages.
+    kfac_seconds: f64,
+    /// Optimizer steps taken.
+    steps: u64,
+    /// Peak metered resident bytes across all categories.
+    peak_memory_bytes: usize,
+    /// Peak bytes pinned by retired cross-iteration window steps.
+    peak_held_window_bytes: usize,
+}
+
+/// One measured training run on thread ranks. `depth` only matters with
+/// `runtime`; `pipelined`/`runtime` select the executor as in `KfacConfig`.
+fn run(scale: &Scale, pipelined: bool, runtime: bool, depth: usize) -> RunStats {
+    let dataset = GaussianBlobs::generate(scale.samples, 32, 4, 0.4, 130);
+    let epochs = scale.epochs;
+    let world = scale.world;
+    let start = Instant::now();
+    let mut results = kaisa_comm::ThreadComm::run(world, |comm| {
+        let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
+        let cfg = KfacConfig::builder()
+            .grad_worker_frac(0.5)
+            .factor_update_freq(5)
+            .inv_update_freq(10)
+            .pipelined(pipelined)
+            .sharded_factors(true)
+            .async_runtime(runtime)
+            .cross_iter_depth(if runtime { depth } else { 1 })
+            .build();
+        let mut kfac = Kfac::new(cfg, &mut model, comm);
+        let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
+        for epoch in 0..epochs {
+            for indices in sampler.epoch_batches(epoch) {
+                let (x, y) = dataset.batch(&indices);
+                kfac.prepare(&mut model);
+                model.zero_grad();
+                let _ = model.forward_backward(&x, &y);
+                if runtime {
+                    kfac.step_begin(&mut model, comm);
+                }
+                kaisa_trainer::allreduce_gradients(&mut model, comm, 1);
+                if runtime {
+                    kfac.step_finish(&mut model, comm, 0.05);
+                } else {
+                    kfac.step(&mut model, comm, 0.05);
+                }
+            }
+        }
+        kfac.flush(comm);
+        comm.barrier();
+        let meter = kfac.memory_meter().clone();
+        RunStats {
+            wall_seconds: 0.0,
+            kfac_seconds: kfac.stage_times().total_seconds(),
+            steps: kfac.steps(),
+            peak_memory_bytes: meter.peak_total(),
+            peak_held_window_bytes: meter.peak(MemoryCategory::HeldWindows),
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let mut stats = results.swap_remove(0);
+    stats.wall_seconds = wall;
+    stats
+}
+
+fn ms_per_step(stats: &RunStats) -> (f64, f64) {
+    let steps = stats.steps.max(1) as f64;
+    (stats.wall_seconds / steps * 1e3, stats.kfac_seconds / steps * 1e3)
+}
+
+/// Minimal JSON string escape (keys/values here are all ASCII, but stay
+/// correct on principle).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let scale = if quick {
+        Scale { world: 4, epochs: 1, samples: 256, quick }
+    } else {
+        Scale { world: 8, epochs: 3, samples: 512, quick }
+    };
+
+    eprintln!(
+        "bench_report: world={} epochs={} samples={} ({})",
+        scale.world,
+        scale.epochs,
+        scale.samples,
+        if quick { "quick" } else { "full" }
+    );
+
+    let serial = run(&scale, false, false, 1);
+    let pipelined = run(&scale, true, false, 1);
+
+    // Depth sweep: the live runtime executor and the window cost model at
+    // matching depths. Model dims mirror the fig7 acceptance configuration.
+    let dims: Vec<(usize, usize)> = vec![
+        (27, 32),
+        (288, 32),
+        (288, 32),
+        (288, 32),
+        (288, 32),
+        (288, 64),
+        (576, 64),
+        (32, 64),
+        (576, 64),
+        (576, 64),
+        (65, 10),
+    ];
+    let depths = [1usize, 2, 4];
+    let modeled = modeled_depth_makespans(
+        &dims,
+        scale.world,
+        ClusterNetwork::ethernet_10g(),
+        32,
+        5,
+        *depths.iter().max().unwrap(),
+    );
+
+    let mut depth_entries = Vec::new();
+    for &depth in &depths {
+        let stats = run(&scale, false, true, depth);
+        let (wall_ms, kfac_ms) = ms_per_step(&stats);
+        let amortized =
+            modeled.iter().find(|(d, _)| *d == depth).map(|(_, s)| *s).unwrap_or(f64::NAN);
+        eprintln!(
+            "depth {depth}: wall {wall_ms:.3} ms/step, kfac {kfac_ms:.3} ms/step, modeled {:.3} ms/iter",
+            amortized * 1e3
+        );
+        depth_entries.push(format!(
+            concat!(
+                "    {{\"depth\": {}, \"wall_ms_per_step\": {:.6}, ",
+                "\"kfac_ms_per_step\": {:.6}, \"modeled_amortized_ms\": {:.6}, ",
+                "\"peak_memory_bytes\": {}, \"peak_held_window_bytes\": {}}}"
+            ),
+            depth,
+            wall_ms,
+            kfac_ms,
+            amortized * 1e3,
+            stats.peak_memory_bytes,
+            stats.peak_held_window_bytes,
+        ));
+    }
+
+    let (serial_wall, serial_kfac) = ms_per_step(&serial);
+    let (pipelined_wall, pipelined_kfac) = ms_per_step(&pipelined);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"kaisa-runtime\",\n",
+            "  \"quick\": {},\n",
+            "  \"world\": {},\n",
+            "  \"factor_update_freq\": 5,\n",
+            "  \"network_model\": \"10GbE\",\n",
+            "  \"executors\": {{\n",
+            "    \"serial\": {{\"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
+            "    \"pipelined\": {{\"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
+            "  }},\n",
+            "  \"runtime_depths\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale.quick,
+        scale.world,
+        serial_wall,
+        serial_kfac,
+        serial.peak_memory_bytes,
+        pipelined_wall,
+        pipelined_kfac,
+        pipelined.peak_memory_bytes,
+        depth_entries.join(",\n"),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", json_escape(&out)));
+    eprintln!("wrote {out}");
+}

@@ -12,8 +12,8 @@ use kaisa_comm::{
     ClusterNetwork, CollectiveCostModel, CommTag, Communicator, MeterSnapshot, ThreadComm,
 };
 use kaisa_core::{
-    modeled_cross_iter_makespans, plan_assignments, priority_sweep_order, AssignmentStrategy,
-    ComputeRates, Kfac, KfacConfig, StepModel, StepModelOptions, KFAC_STAGES,
+    modeled_cross_iter_makespans, modeled_depth_makespans, plan_assignments, priority_sweep_order,
+    AssignmentStrategy, ComputeRates, Kfac, KfacConfig, StepModel, StepModelOptions, KFAC_STAGES,
 };
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
@@ -61,6 +61,17 @@ struct LiveRun {
 }
 
 fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool, runtime: bool) -> LiveRun {
+    run_live_depth(world, frac, pipelined, sharded, runtime, 1)
+}
+
+fn run_live_depth(
+    world: usize,
+    frac: f64,
+    pipelined: bool,
+    sharded: bool,
+    runtime: bool,
+    depth: usize,
+) -> LiveRun {
     let dataset = GaussianBlobs::generate(512, 32, 4, 0.4, 130);
     let mut results = ThreadComm::run(world, |comm| {
         let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
@@ -71,6 +82,7 @@ fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool, runtime: bo
             .pipelined(pipelined)
             .sharded_factors(sharded)
             .async_runtime(runtime)
+            .cross_iter_depth(depth)
             .build();
         let mut kfac = Kfac::new(cfg, &mut model, comm);
         let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
@@ -84,6 +96,7 @@ fn run_live(world: usize, frac: f64, pipelined: bool, sharded: bool, runtime: bo
                 kfac.step(&mut model, comm, 0.05);
             }
         }
+        kfac.flush(comm);
         comm.barrier();
         let times = kfac.stage_times();
         LiveRun {
@@ -226,6 +239,40 @@ fn cost_model() {
     println!("(the runtime window hoists iteration-0 factor comm past the scale barrier into iteration-1's forward/backward)\n");
 }
 
+/// Depth sweep: modeled amortized per-iteration seconds of the depth-D
+/// window next to the live runtime executor's measured per-step K-FAC
+/// seconds at the same depth.
+fn depth_sweep() {
+    println!("== Depth-D cross-iteration window: modeled vs live runtime (world 8, F=5) ==\n");
+    let dims = resnet_mini_dims();
+    let world = 8;
+    let depths = [1usize, 2, 4];
+    let modeled = modeled_depth_makespans(
+        &dims,
+        world,
+        ClusterNetwork::ethernet_10g(),
+        32,
+        5,
+        *depths.iter().max().unwrap(),
+    );
+    let mut rows = Vec::new();
+    for &depth in &depths {
+        let amortized =
+            modeled.iter().find(|(d, _)| *d == depth).map(|(_, s)| *s).unwrap_or(f64::NAN);
+        let live = run_live_depth(world, 0.5, false, true, true, depth);
+        rows.push(vec![
+            format!("{depth}"),
+            format!("{:.3}", amortized * 1e3),
+            format!("{:.3}", live.kfac_seconds / live.steps.max(1) as f64 * 1e3),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["depth", "modeled amortized ms/iter", "live KFAC ms/step"], &rows)
+    );
+    println!("(modeled on 10GbE at per-rank batch 32; live timers share host cores, so the modeled column isolates the schedule effect)\n");
+}
+
 fn sharded() {
     println!("== Sharded factor reduction: reduce-scatter vs dense allreduce (frac 0.5) ==\n");
     // Live metered factor traffic over the whole run (world totals; the
@@ -294,5 +341,6 @@ fn main() {
     simulated();
     live();
     cost_model();
+    depth_sweep();
     sharded();
 }

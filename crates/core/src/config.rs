@@ -5,6 +5,23 @@ use kaisa_tensor::Precision;
 
 use crate::AssignmentStrategy;
 
+/// Depth of the task runtime's cross-iteration scheduling window: how many
+/// step DAGs may be in flight at once (the current step plus retired
+/// residues whose deferred factor completes are still draining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossIterDepth {
+    /// A fixed window depth; `Fixed(1)` is the classic two-half lookahead
+    /// with no cross-step residue.
+    Fixed(usize),
+    /// Pick the modeled-best depth per (plan, network, update frequency) at
+    /// `Kfac::new` time. The choice is a pure function of the layer
+    /// dimensions, world size, configured network, and `factor_update_freq`
+    /// (evaluated at the reference per-rank batch of 32), so every rank
+    /// derives the same depth — a per-rank measurement would break
+    /// collective matching.
+    Auto,
+}
+
 /// Configuration of the [`crate::Kfac`] preconditioner.
 ///
 /// Defaults mirror the paper's Table 2 settings where a single value is used
@@ -84,6 +101,16 @@ pub struct KfacConfig {
     /// same issue order — a per-rank measurement would break collective
     /// matching.
     pub network: Option<ClusterNetwork>,
+    /// Depth of the task runtime's cross-iteration scheduling window
+    /// (requires `async_runtime` when not `Fixed(1)`). At depth D the
+    /// runtime holds up to D in-flight step DAGs: factor-fold completes of
+    /// an update step may retire into the window and drain under up to D-1
+    /// later iterations' compute, instead of blocking `step_finish`. The
+    /// window force-drains before every factor-update step (EMA fold
+    /// ordering) — so with `factor_update_freq == 1` every step drains
+    /// in-step and depth is effectively 1. Depths are bitwise identical to
+    /// the serial executor (property-tested).
+    pub cross_iter_depth: CrossIterDepth,
     /// Milliseconds a runtime rank may sit with no runnable task and no
     /// collective progress before the stall watchdog dumps a per-rank
     /// task-state diagnostic and panics (instead of hanging the process on
@@ -111,6 +138,7 @@ impl Default for KfacConfig {
             priority_schedule: false,
             async_runtime: false,
             network: None,
+            cross_iter_depth: CrossIterDepth::Fixed(1),
             runtime_stall_timeout_ms: 5000,
         }
     }
@@ -137,6 +165,14 @@ impl KfacConfig {
             self.factor_update_freq
         );
         assert!(self.runtime_stall_timeout_ms > 0, "runtime_stall_timeout_ms must be positive");
+        if let CrossIterDepth::Fixed(d) = self.cross_iter_depth {
+            assert!(d >= 1, "cross_iter_depth must be at least 1");
+        }
+        assert!(
+            self.cross_iter_depth == CrossIterDepth::Fixed(1) || self.async_runtime,
+            "cross_iter_depth beyond 1 requires async_runtime(true): only the task \
+             runtime can hold a retired step DAG in flight"
+        );
     }
 }
 
@@ -255,6 +291,21 @@ impl KfacConfigBuilder {
         self
     }
 
+    /// Set a fixed depth for the task runtime's cross-iteration scheduling
+    /// window (depths beyond 1 require `async_runtime(true)`).
+    pub fn cross_iter_depth(mut self, depth: usize) -> Self {
+        self.cfg.cross_iter_depth = CrossIterDepth::Fixed(depth);
+        self
+    }
+
+    /// Let `Kfac::new` pick the modeled-best cross-iteration window depth
+    /// for the registered model, world size, configured network, and
+    /// `factor_update_freq` (requires `async_runtime(true)`).
+    pub fn cross_iter_depth_auto(mut self) -> Self {
+        self.cfg.cross_iter_depth = CrossIterDepth::Auto;
+        self
+    }
+
     /// Set the runtime stall-watchdog timeout in milliseconds.
     pub fn runtime_stall_timeout_ms(mut self, ms: u64) -> Self {
         self.cfg.runtime_stall_timeout_ms = ms;
@@ -299,5 +350,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_frac_rejected() {
         let _ = KfacConfig::builder().grad_worker_frac(0.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        let _ = KfacConfig::builder().async_runtime(true).cross_iter_depth(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires async_runtime")]
+    fn deep_window_requires_the_task_runtime() {
+        let _ = KfacConfig::builder().cross_iter_depth(3).build();
+    }
+
+    #[test]
+    fn depth_builder_roundtrip() {
+        let cfg = KfacConfig::builder().async_runtime(true).cross_iter_depth(3).build();
+        assert_eq!(cfg.cross_iter_depth, CrossIterDepth::Fixed(3));
+        let auto = KfacConfig::builder().async_runtime(true).cross_iter_depth_auto().build();
+        assert_eq!(auto.cross_iter_depth, CrossIterDepth::Auto);
     }
 }

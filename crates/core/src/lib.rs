@@ -49,13 +49,16 @@ mod timing;
 pub use assignment::{
     plan_assignments, plan_assignments_with, AssignmentStrategy, LayerAssignment, WorkPlan,
 };
-pub use config::{KfacConfig, KfacConfigBuilder};
+pub use config::{CrossIterDepth, KfacConfig, KfacConfigBuilder};
 pub use memory::{MemoryCategory, MemoryMeter};
 pub use pipeline::{
     priority_sweep_order, ComputeRates, PipelineStage, StepModel, StepModelOptions, TaskGraph,
 };
 pub use preconditioner::Kfac;
-pub use runtime::{modeled_cross_iter_makespans, CrossIterModel, CrossStage, OverlapMode};
+pub use runtime::{
+    auto_cross_iter_depth, modeled_cross_iter_makespans, modeled_depth_makespans, CrossIterModel,
+    CrossStage, OverlapMode, WindowSpec,
+};
 pub use state::{KfacLayerState, PackedFactor};
 pub use timing::{Stage, StageTimes, KFAC_STAGES};
 

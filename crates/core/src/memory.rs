@@ -28,15 +28,20 @@ pub enum MemoryCategory {
     /// Preconditioned gradients alive between preconditioning and the
     /// KL-clip write-back.
     PrecondGrads,
+    /// Residual buffers of retired cross-iteration window steps: payload
+    /// and shard buffers a depth-D runtime holds for deferred factor
+    /// completes until the window drains them (`cross_iter_depth > 1`).
+    HeldWindows,
 }
 
 impl MemoryCategory {
     /// Every category, in display order.
-    pub const ALL: [MemoryCategory; 4] = [
+    pub const ALL: [MemoryCategory; 5] = [
         MemoryCategory::Factors,
         MemoryCategory::Eigens,
         MemoryCategory::PackedStaging,
         MemoryCategory::PrecondGrads,
+        MemoryCategory::HeldWindows,
     ];
 
     /// Human-readable category name (figure/table labels).
@@ -46,6 +51,7 @@ impl MemoryCategory {
             MemoryCategory::Eigens => "eigens",
             MemoryCategory::PackedStaging => "packed staging",
             MemoryCategory::PrecondGrads => "precond grads",
+            MemoryCategory::HeldWindows => "held windows",
         }
     }
 
@@ -55,6 +61,7 @@ impl MemoryCategory {
             MemoryCategory::Eigens => 1,
             MemoryCategory::PackedStaging => 2,
             MemoryCategory::PrecondGrads => 3,
+            MemoryCategory::HeldWindows => 4,
         }
     }
 }
@@ -67,8 +74,8 @@ impl MemoryCategory {
 /// factor a shard-resident eigendecomposition materializes and drops).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryMeter {
-    current: [usize; 4],
-    peak: [usize; 4],
+    current: [usize; 5],
+    peak: [usize; 5],
 }
 
 impl MemoryMeter {

@@ -156,7 +156,7 @@ impl Kfac {
                     layer.layer_name()
                 )
             });
-            let mut staging = std::mem::take(&mut self.staging[i]);
+            let mut staging = self.staging.take(0, i);
             let split = self.times.time_layer(i, Stage::FactorCompute, || {
                 let inv = 1.0 / stats.batches.max(1) as f32;
                 pack_factor_payload_scaled_into(
@@ -183,7 +183,7 @@ impl Kfac {
             });
             // The begin copies the payload; the staging buffer is free for
             // the next factor step the moment the collective is in flight.
-            self.staging[i] = staging;
+            self.staging.put(0, i, staging);
             inflight.push(entry);
         }
 

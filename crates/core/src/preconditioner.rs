@@ -22,12 +22,13 @@ use kaisa_nn::Model;
 use kaisa_tensor::Matrix;
 
 use crate::assignment::{plan_assignments_with, LayerAssignment, WorkPlan};
+use crate::config::CrossIterDepth;
 use crate::config::KfacConfig;
 use crate::memory::{MemoryCategory, MemoryMeter};
 use crate::pipeline::{priority_sweep_order, ComputeRates, StepModelOptions};
 use crate::state::{
     factor_payload_len, pack_factor_payload, pack_factor_payload_scaled_into, quantize_slice,
-    unpack_factor_payload, KfacLayerState,
+    unpack_factor_payload, KfacLayerState, StagingRing,
 };
 use crate::timing::{Stage, StageTimes};
 use crate::DistStrategy;
@@ -72,13 +73,24 @@ pub struct Kfac {
     /// The in-progress task-runtime step between `step_begin` and
     /// `step_finish` (`async_runtime` only).
     pub(crate) runtime_step: Option<crate::runtime::executor::RuntimeStep>,
+    /// Retired runtime steps whose deferred factor completes are still
+    /// draining — the depth-D cross-iteration window ring (front = oldest).
+    /// Always empty at depth 1.
+    pub(crate) window: std::collections::VecDeque<crate::runtime::executor::RuntimeStep>,
+    /// Resolved cross-iteration window depth (`CrossIterDepth::Auto` is
+    /// resolved once in [`Kfac::new`], identically on every rank).
+    pub(crate) resolved_depth: usize,
+    /// Runtime step DAGs planned so far (window indices for the watchdog
+    /// and the staging-ring slot rotation).
+    pub(crate) windows_built: u64,
     /// Live per-category resident-byte meter for this rank (the measured
     /// counterpart of the analytic `memory_bytes` model).
     pub(crate) mem: MemoryMeter,
-    /// Per-layer packed staging buffers the sharded path scales-and-packs
-    /// captured statistics into, reused across factor steps (empty on the
-    /// dense path).
-    pub(crate) staging: Vec<Vec<f32>>,
+    /// Per-(window slot x layer) packed staging buffers the sharded path
+    /// scales-and-packs captured statistics into, reused across the factor
+    /// steps that map to each slot (empty on the dense path). One slot per
+    /// window depth, so a held DAG never aliases live staging.
+    pub(crate) staging: StagingRing,
 }
 
 impl Kfac {
@@ -133,6 +145,22 @@ impl Kfac {
             (0..dims.len()).collect()
         };
         let n_layers = dims.len();
+        let resolved_depth = match cfg.cross_iter_depth {
+            CrossIterDepth::Fixed(d) => d,
+            CrossIterDepth::Auto => {
+                // Modeled-best depth on the configured network (10 GbE
+                // reference when unset) at the nominal per-rank batch of
+                // 32 — a pure function of dims/world/network/F, so every
+                // rank resolves the same depth.
+                let network = cfg.network.unwrap_or_else(ClusterNetwork::ethernet_10g);
+                crate::runtime::auto_cross_iter_depth(
+                    &dims,
+                    comm.world_size(),
+                    network,
+                    cfg.factor_update_freq,
+                )
+            }
+        };
         let kfac = Kfac {
             cfg,
             plan,
@@ -144,8 +172,11 @@ impl Kfac {
             comm_bytes: 0,
             sweep_order,
             runtime_step: None,
+            window: std::collections::VecDeque::new(),
+            resolved_depth,
+            windows_built: 0,
             mem: MemoryMeter::new(),
-            staging: vec![Vec::new(); n_layers],
+            staging: StagingRing::new(resolved_depth, n_layers),
         };
         // Step 0 updates factors, so the very first forward must capture.
         model.set_kfac_capture(true);
@@ -183,6 +214,12 @@ impl Kfac {
         &self.sweep_order
     }
 
+    /// The resolved cross-iteration window depth this instance runs at
+    /// (what `CrossIterDepth::Auto` picked, or the fixed setting).
+    pub fn cross_iter_depth(&self) -> usize {
+        self.resolved_depth
+    }
+
     /// This rank's K-FAC memory overhead in bytes (factors + cached
     /// decompositions at the storage precision) — the Figure 6/Table 5
     /// metric.
@@ -213,8 +250,8 @@ impl Kfac {
         let p = self.cfg.precision;
         let eig = self.states.iter().map(|s| s.eigen_memory_bytes(p)).sum();
         self.mem.set(MemoryCategory::Eigens, eig);
-        let staging: usize = self.staging.iter().map(|b| b.len() * p.bytes_per_element()).sum();
-        self.mem.set(MemoryCategory::PackedStaging, staging);
+        self.mem
+            .set(MemoryCategory::PackedStaging, self.staging.resident_bytes(p.bytes_per_element()));
     }
 
     /// Record the transient square-factor materializations this rank's
@@ -383,7 +420,7 @@ impl Kfac {
                     layer.layer_name()
                 )
             });
-            let mut staging = std::mem::take(&mut self.staging[i]);
+            let mut staging = self.staging.take(0, i);
             let split = self.times.time_layer(i, Stage::FactorCompute, || {
                 let inv = 1.0 / stats.batches.max(1) as f32;
                 pack_factor_payload_scaled_into(
@@ -415,7 +452,7 @@ impl Kfac {
             });
             // `begin_reduce_scatter` copies the payload, so the staging
             // buffer is reusable as soon as the begin returns.
-            self.staging[i] = staging;
+            self.staging.put(0, i, staging);
             self.comm_bytes += (owned.len() * precision.bytes_per_element()) as u64;
 
             if self.needs_factor_gather(&asn) {

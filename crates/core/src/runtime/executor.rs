@@ -84,6 +84,10 @@ struct FactorInFlight {
 
 /// Mutable task-local state threaded between a step's tasks.
 struct StepCtx {
+    /// Staging-ring slot this step's factor begins pack into
+    /// (`window_index % depth`), so a held predecessor DAG in a depth-D
+    /// window never aliases this step's live staging buffers.
+    slot: usize,
     factor: Vec<Option<FactorInFlight>>,
     /// Per-layer `(split, total)` payload geometry, recorded by the sharded
     /// complete for the regather tasks.
@@ -102,8 +106,9 @@ struct StepCtx {
 }
 
 impl StepCtx {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, slot: usize) -> Self {
         StepCtx {
+            slot,
             factor: (0..n).map(|_| None).collect(),
             splits: vec![(0, 0); n],
             owned: (0..n).map(|_| None).collect(),
@@ -120,16 +125,37 @@ impl StepCtx {
 }
 
 /// An in-progress runtime step, stashed on [`Kfac`] between
-/// [`Kfac::step_begin`] and [`Kfac::step_finish`].
+/// [`Kfac::step_begin`] and [`Kfac::step_finish`] — and, at window depths
+/// beyond 1, possibly retired into the window ring with deferred factor
+/// completes still in flight.
 pub struct RuntimeStep {
     sched: Scheduler,
     kinds: Vec<TaskKind>,
     ctx: StepCtx,
+    /// Monotone DAG counter (`Kfac::windows_built` at plan time).
+    window_index: u64,
+    /// The `Kfac::steps` value this DAG belongs to.
+    iteration: u64,
+}
+
+impl RuntimeStep {
+    /// Bytes of payload this retired step still pins while it sits in the
+    /// window ring: in-flight dense factor buffers plus stashed owned
+    /// shards. Gather handles and completed tasks pin nothing.
+    fn held_bytes(&self) -> usize {
+        let factor: usize = self.ctx.factor.iter().flatten().map(|fl| fl.buf.capacity()).sum();
+        let owned: usize = self.ctx.owned.iter().flatten().map(|b| b.capacity()).sum();
+        (factor + owned) * std::mem::size_of::<f32>()
+    }
 }
 
 impl std::fmt::Debug for RuntimeStep {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RuntimeStep").field("tasks", &self.kinds.len()).finish()
+        f.debug_struct("RuntimeStep")
+            .field("tasks", &self.kinds.len())
+            .field("window_index", &self.window_index)
+            .field("iteration", &self.iteration)
+            .finish()
     }
 }
 
@@ -159,7 +185,15 @@ impl Kfac {
         let use_eigen = self.cfg.use_eigen;
         let precompute = self.cfg.precompute_outer;
         let order = self.sweep_order.clone();
-        let mut sched = Scheduler::new(rank, self.cfg.runtime_stall_timeout_ms);
+        let window_index = self.windows_built;
+        let iteration = self.steps;
+        self.windows_built += 1;
+        let mut sched = Scheduler::with_window(
+            rank,
+            self.cfg.runtime_stall_timeout_ms,
+            window_index,
+            iteration,
+        );
         let mut kinds: Vec<TaskKind> = Vec::new();
 
         // Phase 1: factor update.
@@ -344,7 +378,30 @@ impl Kfac {
                 sched.hold(id);
             }
         }
-        RuntimeStep { sched, kinds, ctx: StepCtx::new(n) }
+        // Depth-D window: factor *completes* may outlive their step — their
+        // collectives are already begun (begins are never deferrable, so
+        // per-group begin order is untouched) and their folds commute with
+        // everything until the next factor-update step, which `step_begin`
+        // force-drains ahead of. The one exception: a shard complete whose
+        // payload feeds this rank's regather begin must finish in-step,
+        // because that begin is gated.
+        if self.resolved_depth > 1 {
+            for (id, kind) in kinds.iter().enumerate() {
+                let deferrable = match *kind {
+                    TaskKind::FactorDenseComplete(_) | TaskKind::FactorGatherComplete(_) => true,
+                    TaskKind::FactorShardComplete(i) => {
+                        let asn = &self.plan.layers[i];
+                        !(self.needs_factor_gather(asn) && asn.eig_worker_group().contains(&rank))
+                    }
+                    _ => false,
+                };
+                if deferrable {
+                    sched.mark_deferrable(id);
+                }
+            }
+        }
+        let slot = (window_index % self.resolved_depth as u64) as usize;
+        RuntimeStep { sched, kinds, ctx: StepCtx::new(n, slot), window_index, iteration }
     }
 
     /// Start a runtime step: plan the task DAG and run the factor-phase
@@ -360,11 +417,28 @@ impl Kfac {
             self.runtime_step.is_none(),
             "step_begin called twice without an intervening step_finish"
         );
+        // Opportunistically reap retired window steps whose deferred
+        // completes have since become ready (non-blocking).
+        self.poll_window(comm);
+        // A factor-update step folds new running averages: every deferred
+        // fold from the window must land first so the EMA sees updates in
+        // iteration order (bitwise equivalence with the serial executor).
+        if self.is_factor_update_step() {
+            self.drain_window(comm);
+        }
+        // Capacity: at most `depth` DAGs in flight including the one about
+        // to be built.
+        while self.window.len() + 1 > self.resolved_depth {
+            let step = self.window.pop_front().expect("window non-empty");
+            self.drain_window_step(step, comm);
+        }
+        self.note_window_residency();
         let mut layers = model.kfac_layers();
         assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
-        let RuntimeStep { mut sched, kinds, mut ctx } = self.build_runtime_step();
+        let RuntimeStep { mut sched, kinds, mut ctx, window_index, iteration } =
+            self.build_runtime_step();
         sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, 0.0));
-        self.runtime_step = Some(RuntimeStep { sched, kinds, ctx });
+        self.runtime_step = Some(RuntimeStep { sched, kinds, ctx, window_index, iteration });
     }
 
     /// Finish a runtime step begun by [`Kfac::step_begin`]: release the
@@ -372,7 +446,7 @@ impl Kfac {
     /// data-parallel gradient allreduce; `lr` enters the KL-clip scale as
     /// in [`Kfac::step`].
     pub fn step_finish<M: Model>(&mut self, model: &mut M, comm: &dyn Communicator, lr: f32) {
-        let RuntimeStep { mut sched, kinds, mut ctx } =
+        let RuntimeStep { mut sched, kinds, mut ctx, window_index, iteration } =
             self.runtime_step.take().expect("step_finish requires a prior step_begin");
         let mut layers = model.kfac_layers();
         assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
@@ -380,10 +454,79 @@ impl Kfac {
         // capture — and every task that reads them — to this half.
         ctx.grads = layers.iter().map(|l| l.combined_grad()).collect();
         sched.release_all();
-        sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, lr));
+        if self.resolved_depth == 1 {
+            sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, lr));
+        } else {
+            // Depth-D window: run to quiescence of the *non-deferrable*
+            // tasks only; still-pending factor completes retire with the
+            // step into the window ring and drain under later iterations.
+            sched.run_released(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, lr));
+            if !sched.all_done() {
+                self.window.push_back(RuntimeStep { sched, kinds, ctx, window_index, iteration });
+            }
+            // Age bound: a step's residue may ride along for at most
+            // `depth - 1` subsequent iterations.
+            let now = self.steps;
+            while self.window.front().is_some_and(|s| {
+                now.saturating_sub(s.iteration) >= (self.resolved_depth - 1) as u64
+            }) {
+                let step = self.window.pop_front().expect("window non-empty");
+                self.drain_window_step(step, comm);
+            }
+        }
+        self.note_window_residency();
         self.note_step_residency();
         self.steps += 1;
         self.times.steps += 1;
+    }
+
+    /// Block until every retired window step has fully drained. Call before
+    /// reading cross-rank observables whose accounting happens on the
+    /// complete side — [`Kfac::comm_bytes`], [`Kfac::stage_times`],
+    /// [`Kfac::memory_meter`] — or before tearing down the communicator.
+    /// A no-op at depth 1 (the window is always empty) and between
+    /// `step_begin`/`step_finish` pairs it must not be called.
+    pub fn flush(&mut self, comm: &dyn Communicator) {
+        assert!(self.runtime_step.is_none(), "flush called between step_begin and step_finish");
+        self.drain_window(comm);
+        self.note_window_residency();
+    }
+
+    /// One non-blocking poll pass over the window, popping fully-finished
+    /// steps off the front (in retirement order only, so a finished step
+    /// behind an unfinished one waits — the ring drains FIFO).
+    fn poll_window(&mut self, comm: &dyn Communicator) {
+        let mut window = std::mem::take(&mut self.window);
+        while let Some(front) = window.front_mut() {
+            let RuntimeStep { ref mut sched, ref kinds, ref mut ctx, .. } = *front;
+            let done = sched.poll_pass(|id| self.run_deferred_task(&kinds[id], comm, ctx));
+            if done {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.window = window;
+    }
+
+    /// Drain the whole window, oldest step first, blocking as needed.
+    fn drain_window(&mut self, comm: &dyn Communicator) {
+        while let Some(step) = self.window.pop_front() {
+            self.drain_window_step(step, comm);
+        }
+    }
+
+    /// Run one retired step's remaining deferred tasks to completion.
+    fn drain_window_step(&mut self, step: RuntimeStep, comm: &dyn Communicator) {
+        let RuntimeStep { mut sched, kinds, mut ctx, .. } = step;
+        sched.run(|id| self.run_deferred_task(&kinds[id], comm, &mut ctx));
+    }
+
+    /// Update the `HeldWindows` meter category from the ring's pinned
+    /// payload bytes.
+    fn note_window_residency(&mut self) {
+        let bytes: usize = self.window.iter().map(|s| s.held_bytes()).sum();
+        self.mem.set(crate::memory::MemoryCategory::HeldWindows, bytes);
     }
 
     /// Execute one task unit. Complete-side tasks return
@@ -413,7 +556,7 @@ impl Kfac {
                     // Scale-and-pack straight into the reusable staging
                     // buffer; no scaled square statistics materialize.
                     let asn = self.plan.layers[i].clone();
-                    let mut staging = std::mem::take(&mut self.staging[i]);
+                    let mut staging = self.staging.take(ctx.slot, i);
                     let split = self.times.time_layer(i, Stage::FactorCompute, || {
                         let inv = 1.0 / stats.batches.max(1) as f32;
                         pack_factor_payload_scaled_into(
@@ -438,7 +581,7 @@ impl Kfac {
                         FactorInFlight { pending, buf: Vec::new(), split, total }
                     });
                     // The begin copies the payload, so staging is reusable.
-                    self.staging[i] = staging;
+                    self.staging.put(ctx.slot, i, staging);
                     ctx.factor[i] = Some(entry);
                 } else {
                     let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
@@ -465,59 +608,9 @@ impl Kfac {
                 }
                 TaskPoll::Done
             }
-            TaskKind::FactorDenseComplete(i) => {
-                let ready = ctx.factor[i].as_ref().is_some_and(|fl| comm.poll_ready(&fl.pending));
-                if !ready {
-                    return TaskPoll::Pending;
-                }
-                let mut fl = ctx.factor[i].take().expect("factor begin ran");
-                let decay = self.cfg.factor_decay;
-                let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
-                let (a_new, g_new) = self.times.time_layer(i, Stage::FactorComm, || {
-                    comm.complete(fl.pending, &mut fl.buf);
-                    unpack_factor_payload(
-                        &mut fl.buf,
-                        fl.split,
-                        a_dim,
-                        g_dim,
-                        triangular,
-                        precision,
-                    )
-                });
-                self.comm_bytes += (factor_payload_len(a_dim, g_dim, triangular)
-                    * precision.bytes_per_element()) as u64;
-                self.times.time_layer(i, Stage::FactorCompute, || {
-                    self.states[i].update_factors(a_new, g_new, decay);
-                });
-                self.note_factor_residency();
-                TaskPoll::Done
-            }
-            TaskKind::FactorShardComplete(i) => {
-                let ready = ctx.factor[i].as_ref().is_some_and(|fl| comm.poll_ready(&fl.pending));
-                if !ready {
-                    return TaskPoll::Pending;
-                }
-                let fl = ctx.factor[i].take().expect("factor begin ran");
-                let asn = self.plan.layers[i].clone();
-                let owned_len: usize = factor_shards(&asn, fl.split, fl.total)
-                    .iter()
-                    .filter(|s| s.owner == rank)
-                    .map(|s| s.len)
-                    .sum();
-                let mut owned = vec![0.0f32; owned_len];
-                self.times
-                    .time_layer(i, Stage::FactorComm, || comm.complete(fl.pending, &mut owned));
-                self.comm_bytes += (owned_len * precision.bytes_per_element()) as u64;
-                ctx.splits[i] = (fl.split, fl.total);
-                if self.needs_factor_gather(&asn) {
-                    if asn.eig_worker_group().contains(&rank) {
-                        ctx.owned[i] = Some(owned);
-                    }
-                } else {
-                    self.fold_owned_sections(i, owned, fl.split, fl.total);
-                }
-                TaskPoll::Done
-            }
+            TaskKind::FactorDenseComplete(_)
+            | TaskKind::FactorShardComplete(_)
+            | TaskKind::FactorGatherComplete(_) => self.run_deferred_task(kind, comm, ctx),
             TaskKind::FactorGatherBegin(i) => {
                 let owned = ctx.owned[i].take().expect("shard complete stashed the shard");
                 let asn = self.plan.layers[i].clone();
@@ -526,22 +619,6 @@ impl Kfac {
                     comm.begin_allgather(&owned, &group, CommTag::FactorGather)
                 });
                 ctx.gather[i] = Some((pending, owned.len()));
-                TaskPoll::Done
-            }
-            TaskKind::FactorGatherComplete(i) => {
-                let ready = ctx.gather[i].as_ref().is_some_and(|(p, _)| comm.poll_ready(p));
-                if !ready {
-                    return TaskPoll::Pending;
-                }
-                let (pending, owned_len) = ctx.gather[i].take().expect("gather begin ran");
-                let (split, total) = ctx.splits[i];
-                let asn = self.plan.layers[i].clone();
-                let mut gathered = vec![0.0f32; total];
-                self.times
-                    .time_layer(i, Stage::FactorComm, || comm.complete(pending, &mut gathered));
-                self.comm_bytes += ((total - owned_len) * precision.bytes_per_element()) as u64;
-                let payload = reassemble_gathered_payload(&asn, &gathered, split);
-                self.fold_gathered_payload(i, payload, split);
                 TaskPoll::Done
             }
             TaskKind::EigSolve(i) => {
@@ -799,6 +876,93 @@ impl Kfac {
             }
         }
     }
+
+    /// Execute a factor-complete task — the only task kinds that may
+    /// outlive their step into the depth-D window. None of them touch the
+    /// model's layers, which is what lets a retired step drain after the
+    /// `kfac_layers()` borrow is gone.
+    fn run_deferred_task(
+        &mut self,
+        kind: &TaskKind,
+        comm: &dyn Communicator,
+        ctx: &mut StepCtx,
+    ) -> TaskPoll {
+        let rank = self.rank;
+        let precision = self.cfg.precision;
+        let triangular = self.cfg.triangular_comm;
+        match *kind {
+            TaskKind::FactorDenseComplete(i) => {
+                let ready = ctx.factor[i].as_ref().is_some_and(|fl| comm.poll_ready(&fl.pending));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let mut fl = ctx.factor[i].take().expect("factor begin ran");
+                let decay = self.cfg.factor_decay;
+                let (a_dim, g_dim) = (self.states[i].a_dim, self.states[i].g_dim);
+                let (a_new, g_new) = self.times.time_layer(i, Stage::FactorComm, || {
+                    comm.complete(fl.pending, &mut fl.buf);
+                    unpack_factor_payload(
+                        &mut fl.buf,
+                        fl.split,
+                        a_dim,
+                        g_dim,
+                        triangular,
+                        precision,
+                    )
+                });
+                self.comm_bytes += (factor_payload_len(a_dim, g_dim, triangular)
+                    * precision.bytes_per_element()) as u64;
+                self.times.time_layer(i, Stage::FactorCompute, || {
+                    self.states[i].update_factors(a_new, g_new, decay);
+                });
+                self.note_factor_residency();
+                TaskPoll::Done
+            }
+            TaskKind::FactorShardComplete(i) => {
+                let ready = ctx.factor[i].as_ref().is_some_and(|fl| comm.poll_ready(&fl.pending));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let fl = ctx.factor[i].take().expect("factor begin ran");
+                let asn = self.plan.layers[i].clone();
+                let owned_len: usize = factor_shards(&asn, fl.split, fl.total)
+                    .iter()
+                    .filter(|s| s.owner == rank)
+                    .map(|s| s.len)
+                    .sum();
+                let mut owned = vec![0.0f32; owned_len];
+                self.times
+                    .time_layer(i, Stage::FactorComm, || comm.complete(fl.pending, &mut owned));
+                self.comm_bytes += (owned_len * precision.bytes_per_element()) as u64;
+                ctx.splits[i] = (fl.split, fl.total);
+                if self.needs_factor_gather(&asn) {
+                    if asn.eig_worker_group().contains(&rank) {
+                        ctx.owned[i] = Some(owned);
+                    }
+                } else {
+                    self.fold_owned_sections(i, owned, fl.split, fl.total);
+                }
+                TaskPoll::Done
+            }
+            TaskKind::FactorGatherComplete(i) => {
+                let ready = ctx.gather[i].as_ref().is_some_and(|(p, _)| comm.poll_ready(p));
+                if !ready {
+                    return TaskPoll::Pending;
+                }
+                let (pending, owned_len) = ctx.gather[i].take().expect("gather begin ran");
+                let (split, total) = ctx.splits[i];
+                let asn = self.plan.layers[i].clone();
+                let mut gathered = vec![0.0f32; total];
+                self.times
+                    .time_layer(i, Stage::FactorComm, || comm.complete(pending, &mut gathered));
+                self.comm_bytes += ((total - owned_len) * precision.bytes_per_element()) as u64;
+                let payload = reassemble_gathered_payload(&asn, &gathered, split);
+                self.fold_gathered_payload(i, payload, split);
+                TaskPoll::Done
+            }
+            _ => unreachable!("only factor completes may outlive their step"),
+        }
+    }
 }
 
 /// True once every result broadcast a layer has in flight is ready to
@@ -882,6 +1046,99 @@ mod tests {
         assert_eq!(m1.grads_flat(), m2.grads_flat());
         assert_eq!(k1.steps(), k2.steps());
         assert_eq!(k1.comm_bytes(), k2.comm_bytes());
+    }
+
+    #[test]
+    fn deep_window_matches_serial_single_rank() {
+        let (model, x, y) = toy();
+        let comm = LocalComm::new();
+        let run = |depth: Option<usize>| {
+            let mut m = model.clone();
+            let mut b =
+                KfacConfig::builder().factor_update_freq(2).inv_update_freq(4).pipelined(false);
+            if let Some(d) = depth {
+                b = b.async_runtime(true).cross_iter_depth(d);
+            }
+            let mut kfac = Kfac::new(b.build(), &mut m, &comm);
+            for _ in 0..6 {
+                kfac.prepare(&mut m);
+                m.zero_grad();
+                let _ = m.forward_backward(&x, &y);
+                kfac.step(&mut m, &comm, 0.1);
+            }
+            kfac.flush(&comm);
+            (m.grads_flat(), kfac.comm_bytes())
+        };
+        let serial = run(None);
+        for depth in [2, 3] {
+            assert_eq!(
+                run(Some(depth)),
+                serial,
+                "depth-{depth} window must stay bitwise identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_window_matches_depth_one_across_ranks() {
+        let run_world = |depth: usize| {
+            ThreadComm::run(2, move |comm| {
+                let mut m = Mlp::new(&[6, 10, 3], &mut Rng::seed_from_u64(404));
+                let mut rng = Rng::seed_from_u64(7 + comm.rank() as u64);
+                let x = Matrix::randn(16, 6, 1.0, &mut rng);
+                let y: Vec<usize> = (0..16).map(|i| (i + comm.rank()) % 3).collect();
+                let cfg = KfacConfig::builder()
+                    .factor_update_freq(2)
+                    .inv_update_freq(4)
+                    .async_runtime(true)
+                    .cross_iter_depth(depth)
+                    .sharded_factors(true)
+                    .build();
+                let mut kfac = Kfac::new(cfg, &mut m, comm);
+                for _ in 0..6 {
+                    kfac.prepare(&mut m);
+                    m.zero_grad();
+                    let _ = m.forward_backward(&x, &y);
+                    kfac.step(&mut m, comm, 0.1);
+                }
+                kfac.flush(comm);
+                comm.barrier();
+                (m.grads_flat(), kfac.comm_bytes())
+            })
+        };
+        let base = run_world(1);
+        for depth in [2, 3] {
+            assert_eq!(run_world(depth), base, "depth {depth} must match depth 1 on every rank");
+        }
+    }
+
+    #[test]
+    fn flush_between_halves_is_rejected() {
+        let (model, x, y) = toy();
+        let comm = LocalComm::new();
+        let mut m = model.clone();
+        let cfg = KfacConfig::builder()
+            .factor_update_freq(1)
+            .inv_update_freq(1)
+            .async_runtime(true)
+            .cross_iter_depth(2)
+            .build();
+        let mut kfac = Kfac::new(cfg, &mut m, &comm);
+        kfac.prepare(&mut m);
+        m.zero_grad();
+        let _ = m.forward_backward(&x, &y);
+        kfac.step_begin(&mut m, &comm);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            kfac.flush(&comm);
+        }))
+        .expect_err("flush inside a step must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("between step_begin and step_finish"), "got: {msg}");
+        kfac.step_finish(&mut m, &comm, 0.1);
     }
 
     #[test]

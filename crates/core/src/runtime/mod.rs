@@ -12,13 +12,27 @@
 //! identical. A stall watchdog converts a mismatched collective into a
 //! per-rank task-state diagnostic panic instead of a hang.
 //!
-//! [`model::CrossIterModel`] extends the cost model across a two-iteration
-//! window to predict the overlap win; `kaisa-sim` and the `fig7` bench
-//! consume it.
+//! With `KfacConfig::cross_iter_depth` beyond 1, the lookahead generalizes
+//! to a **depth-D scheduling window**: `step_finish` may retire a
+//! factor-update step whose deferred fold completes are still in flight,
+//! holding the residue DAG in a window ring that drains opportunistically
+//! under later iterations' compute — force-drained before the next
+//! factor-update step (EMA fold ordering) and after `D - 1` iterations
+//! (age bound). Only ungated complete-side tasks ever defer, so the
+//! per-group collective begin order — the bitwise-equivalence mechanism —
+//! is untouched.
+//!
+//! [`model::CrossIterModel`] extends the cost model across an
+//! `iterations`-long window at any depth to predict the overlap win;
+//! `kaisa-sim` and the `fig7` bench consume it, and
+//! [`model::auto_cross_iter_depth`] drives the `depth(auto)` config mode.
 
 pub mod executor;
 pub mod model;
 pub mod scheduler;
 
-pub use model::{modeled_cross_iter_makespans, CrossIterModel, CrossStage, Interval, OverlapMode};
+pub use model::{
+    auto_cross_iter_depth, modeled_cross_iter_makespans, modeled_depth_makespans, CrossIterModel,
+    CrossStage, Interval, OverlapMode, WindowSpec,
+};
 pub use scheduler::{Scheduler, TaskPoll};

@@ -38,6 +38,23 @@ pub enum OverlapMode {
     Runtime,
 }
 
+/// Shape of a depth-D cross-iteration window for
+/// [`CrossIterModel::windowed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Maximum in-flight step DAGs: a factor-update iteration's comm/fold
+    /// residue may drain under up to `depth - 1` later iterations (its
+    /// folds must land by the scale of iteration `k + depth - 1`). Depth 1
+    /// is the barrier semantics of the sweep executor.
+    pub depth: usize,
+    /// Iterations between factor updates (`KfacConfig::factor_update_freq`)
+    /// — iterations out of phase carry no factor tasks at all, which is
+    /// what lets a deep window drain between updates.
+    pub factor_update_freq: usize,
+    /// Number of iterations in the modeled window.
+    pub iterations: usize,
+}
+
 /// Stage label of one modeled task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrossStage {
@@ -85,17 +102,20 @@ pub struct Interval {
     pub finish: f64,
 }
 
-/// Two-iteration cost model of the training loop under one executor's
-/// dependency structure.
+/// Cost model of an `iterations`-long training-loop window under one
+/// executor's dependency structure.
 pub struct CrossIterModel {
     tasks: Vec<CrossTask>,
     world: usize,
+    iterations: usize,
 }
 
 impl CrossIterModel {
-    /// Build the two-iteration window for `dims` (per-layer `(a, g)` factor
-    /// dimensions) on `world` ranks over `network`, with per-rank batch
-    /// size `batch`.
+    /// Build the classic two-iteration window for `dims` (per-layer
+    /// `(a, g)` factor dimensions) on `world` ranks over `network`, with
+    /// per-rank batch size `batch`. Equivalent to
+    /// [`CrossIterModel::windowed`] at `factor_update_freq = 1` over two
+    /// iterations, with depth 1 (`Pipelined`) or depth 2 (`Runtime`).
     pub fn new(
         dims: &[(usize, usize)],
         world: usize,
@@ -103,11 +123,45 @@ impl CrossIterModel {
         batch: usize,
         mode: OverlapMode,
     ) -> Self {
+        let depth = match mode {
+            OverlapMode::Pipelined => 1,
+            OverlapMode::Runtime => 2,
+        };
+        Self::windowed(
+            dims,
+            world,
+            network,
+            batch,
+            WindowSpec { depth, factor_update_freq: 1, iterations: 2 },
+        )
+    }
+
+    /// Build a depth-D cross-iteration window: `spec.iterations` iterations
+    /// at `spec.factor_update_freq`, holding up to `spec.depth` in-flight
+    /// step DAGs. Depth 1 reproduces the sweep executor's barriers (factor
+    /// finalize behind the DDP allreduce, preconditioning behind every
+    /// fold, nothing crossing the scale). Depth D ≥ 2 issues factor work
+    /// right after the backward pass and lets a factor iteration's
+    /// comm/fold residue drain under later iterations, constrained by the
+    /// live window's two drain rules: folds of iteration `k` must land
+    /// before the scale of iteration `k + D - 1` (age-based force drain)
+    /// and before the next factor iteration's finalize (EMA fold ordering).
+    pub fn windowed(
+        dims: &[(usize, usize)],
+        world: usize,
+        network: ClusterNetwork,
+        batch: usize,
+        spec: WindowSpec,
+    ) -> Self {
         assert!(world > 0, "world must be non-empty");
         assert!(!dims.is_empty(), "model needs at least one layer");
+        assert!(spec.depth >= 1, "window depth must be at least 1");
+        assert!(spec.factor_update_freq >= 1, "factor_update_freq must be positive");
+        assert!(spec.iterations >= 1, "window needs at least one iteration");
         let cost = CollectiveCostModel::new(network);
         let rates = ComputeRates::default();
         let b = batch.max(1) as f64;
+        let depth = spec.depth;
 
         let fwd_bwd: f64 = dims.iter().map(|&(a, g)| 6.0 * a as f64 * g as f64 * b).sum::<f64>()
             / rates.gemm_flops;
@@ -129,7 +183,14 @@ impl CrossIterModel {
         };
 
         let mut prev_scale: Vec<Option<usize>> = vec![None; world];
-        for iter in 0..2 {
+        // Folds of the most recent factor iteration (EMA-order the next
+        // factor iteration's finalize behind them at depth ≥ 2).
+        let mut last_folds: Vec<usize> = Vec::new();
+        // Per-iteration fold deadlines: folds of factor iteration `k` gate
+        // the scale of iteration `k + depth - 1` when it lies in-window.
+        let mut fold_deadline: Vec<Vec<usize>> = vec![Vec::new(); spec.iterations];
+        for iter in 0..spec.iterations {
+            let factor_iter = iter % spec.factor_update_freq == 0;
             let fb: Vec<usize> = (0..world)
                 .map(|r| {
                     let deps: Vec<usize> = prev_scale[r].into_iter().collect();
@@ -137,63 +198,78 @@ impl CrossIterModel {
                 })
                 .collect();
             let ddp_id = push(CrossStage::DdpAllreduce, iter, None, None, ddp, fb.clone());
-            let fin: Vec<usize> = (0..world)
-                .map(|r| {
-                    let deps = match mode {
-                        // The trainer calls `step()` after the DDP
-                        // allreduce; factor work starts behind it.
-                        OverlapMode::Pipelined => vec![ddp_id],
-                        // `step_begin` runs right after the backward pass.
-                        OverlapMode::Runtime => vec![fb[r]],
-                    };
-                    push(CrossStage::FactorFinalize, iter, Some(r), None, finalize, deps)
-                })
-                .collect();
-            let mut folds: Vec<usize> = Vec::with_capacity(dims.len());
-            for (i, &(a, g)) in dims.iter().enumerate() {
-                let payload = factor_payload_len(a, g, false) * 4;
-                let comm_id = push(
-                    CrossStage::FactorComm,
-                    iter,
-                    None,
-                    Some(i),
-                    cost.allreduce(payload, world),
-                    fin.clone(),
-                );
-                let fold = (a as f64 * a as f64 + g as f64 * g as f64) / rates.gemm_flops;
-                folds.push(push(
-                    CrossStage::FactorFold,
-                    iter,
-                    Some(i % world),
-                    Some(i),
-                    fold,
-                    vec![comm_id],
-                ));
+            let mut folds: Vec<usize> = Vec::new();
+            if factor_iter {
+                let fin: Vec<usize> = (0..world)
+                    .map(|r| {
+                        let deps = if depth == 1 {
+                            // The trainer calls `step()` after the DDP
+                            // allreduce; factor work starts behind it.
+                            vec![ddp_id]
+                        } else {
+                            // `step_begin` runs right after the backward
+                            // pass — but only once the previous factor
+                            // iteration's folds landed (EMA ordering).
+                            let mut d = vec![fb[r]];
+                            d.extend(&last_folds);
+                            d
+                        };
+                        push(CrossStage::FactorFinalize, iter, Some(r), None, finalize, deps)
+                    })
+                    .collect();
+                for (i, &(a, g)) in dims.iter().enumerate() {
+                    let payload = factor_payload_len(a, g, false) * 4;
+                    let comm_id = push(
+                        CrossStage::FactorComm,
+                        iter,
+                        None,
+                        Some(i),
+                        cost.allreduce(payload, world),
+                        fin.clone(),
+                    );
+                    let fold = (a as f64 * a as f64 + g as f64 * g as f64) / rates.gemm_flops;
+                    folds.push(push(
+                        CrossStage::FactorFold,
+                        iter,
+                        Some(i % world),
+                        Some(i),
+                        fold,
+                        vec![comm_id],
+                    ));
+                }
+                if depth >= 2 {
+                    let deadline = iter + depth - 1;
+                    if deadline < spec.iterations {
+                        fold_deadline[deadline].extend(&folds);
+                    }
+                    last_folds = folds.clone();
+                }
             }
             let pre: Vec<usize> = (0..world)
                 .map(|r| {
-                    let deps = match mode {
+                    let deps = if depth == 1 {
                         // `step()` preconditions only after the whole
                         // factor phase drained.
-                        OverlapMode::Pipelined => {
-                            let mut d = vec![ddp_id];
-                            d.extend(&folds);
-                            d
-                        }
+                        let mut d = vec![ddp_id];
+                        d.extend(&folds);
+                        d
+                    } else {
                         // Preconditioning reads cached decompositions and
                         // the DDP-averaged gradients; folds feed only the
                         // *next* eig update and may drift.
-                        OverlapMode::Runtime => vec![ddp_id],
+                        vec![ddp_id]
                     };
                     push(CrossStage::Precondition, iter, Some(r), None, precond, deps)
                 })
                 .collect();
             let gb = push(CrossStage::GradBcast, iter, None, None, grad_bcast, pre);
             for (r, slot) in prev_scale.iter_mut().enumerate() {
-                *slot = Some(push(CrossStage::ScaleUpdate, iter, Some(r), None, scale, vec![gb]));
+                let mut deps = vec![gb];
+                deps.extend(&fold_deadline[iter]);
+                *slot = Some(push(CrossStage::ScaleUpdate, iter, Some(r), None, scale, deps));
             }
         }
-        CrossIterModel { tasks, world }
+        CrossIterModel { tasks, world, iterations: spec.iterations }
     }
 
     /// The modeled tasks (indices match [`CrossIterModel::schedule`]).
@@ -249,6 +325,12 @@ impl CrossIterModel {
         self.schedule().iter().map(|t| t.finish).fold(0.0, f64::max)
     }
 
+    /// Makespan divided by the window's iteration count — the modeled
+    /// amortized per-iteration time, comparable across window depths.
+    pub fn amortized_iteration_seconds(&self) -> f64 {
+        self.makespan() / self.iterations as f64
+    }
+
     /// Number of `(iteration-0 factor comm/fold, iteration-1 fwd/bwd)` task
     /// pairs whose scheduled intervals strictly overlap — the modeled
     /// cross-iteration overlap the runtime executor unlocks.
@@ -287,6 +369,66 @@ pub fn modeled_cross_iter_makespans(
     let runtime = CrossIterModel::new(dims, world, network, batch, OverlapMode::Runtime);
     let p = pipelined.makespan();
     (p, runtime.makespan().min(p))
+}
+
+/// Modeled amortized per-iteration seconds for window depths `1..=max_depth`
+/// at `factor_update_freq`, as `(depth, seconds)` pairs. Each window spans
+/// `max(2 * factor_update_freq, depth + 1)` iterations (two factor updates,
+/// or enough room for the deepest residue). Values are clamped monotone
+/// non-increasing in depth: the live window can always drain eagerly and
+/// behave as a shallower one, so a greedy scheduling anomaly never makes a
+/// deeper window model *slower* — the same clamp
+/// [`modeled_cross_iter_makespans`] applies to runtime vs. pipelined.
+pub fn modeled_depth_makespans(
+    dims: &[(usize, usize)],
+    world: usize,
+    network: ClusterNetwork,
+    batch: usize,
+    factor_update_freq: usize,
+    max_depth: usize,
+) -> Vec<(usize, f64)> {
+    assert!(max_depth >= 1, "need at least depth 1");
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(max_depth);
+    for depth in 1..=max_depth {
+        let iterations = (2 * factor_update_freq).max(depth + 1);
+        let model = CrossIterModel::windowed(
+            dims,
+            world,
+            network,
+            batch,
+            WindowSpec { depth, factor_update_freq, iterations },
+        );
+        let mut amortized = model.amortized_iteration_seconds();
+        if let Some(&(_, prev)) = out.last() {
+            amortized = amortized.min(prev);
+        }
+        out.push((depth, amortized));
+    }
+    out
+}
+
+/// Pick the cross-iteration window depth (in `1..=min(factor_update_freq,
+/// 4)`) with the best modeled amortized per-iteration time — the smallest
+/// depth within 0.1% of the best, so extra held-DAG memory is never spent
+/// on a modeled tie. Evaluated at the reference per-rank batch of 32. A
+/// pure function of `(dims, world, network, factor_update_freq)`, so every
+/// rank computing it agrees — the requirement for `depth(auto)` to keep
+/// collective matching intact. `factor_update_freq == 1` always yields 1:
+/// the live window force-drains before every factor-update step.
+pub fn auto_cross_iter_depth(
+    dims: &[(usize, usize)],
+    world: usize,
+    network: ClusterNetwork,
+    factor_update_freq: usize,
+) -> usize {
+    let max_depth = factor_update_freq.clamp(1, 4);
+    let table = modeled_depth_makespans(dims, world, network, 32, factor_update_freq, max_depth);
+    let best = table.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+    table
+        .iter()
+        .find(|&&(_, s)| s <= best * 1.001)
+        .map(|&(d, _)| d)
+        .expect("depth table is non-empty")
 }
 
 #[cfg(test)]
@@ -354,6 +496,131 @@ mod tests {
             runtime < pipelined * 0.999,
             "expected a strict cross-iteration win, pipelined={pipelined} runtime={runtime}"
         );
+    }
+
+    /// The fig7 reference network: the mixed conv/linear ResNetMini layer
+    /// dims the fig7 binary's cost-model and depth-sweep tables print.
+    fn resnet_mini_dims() -> Vec<(usize, usize)> {
+        vec![
+            (27, 32),
+            (288, 32),
+            (288, 32),
+            (288, 32),
+            (288, 32),
+            (288, 64),
+            (576, 64),
+            (32, 64),
+            (576, 64),
+            (576, 64),
+            (65, 10),
+        ]
+    }
+
+    #[test]
+    fn depth_two_amortized_strictly_beats_depth_one_on_fig7_reference() {
+        // The acceptance bar: on the fig7 reference config (ResNetMini at
+        // world 8 over 10 GbE, factor_update_freq 5) the window model must
+        // predict a strictly lower amortized per-iteration time for every
+        // depth ≥ 2 than for depth 1.
+        let table = modeled_depth_makespans(
+            &resnet_mini_dims(),
+            8,
+            ClusterNetwork::ethernet_10g(),
+            32,
+            5,
+            4,
+        );
+        assert_eq!(table[0].0, 1);
+        let depth1 = table[0].1;
+        for &(depth, amortized) in &table[1..] {
+            assert!(
+                amortized < depth1,
+                "depth {depth} amortized {amortized} must be strictly below \
+                 depth 1's {depth1}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_table_is_monotone_non_increasing() {
+        for world in [2, 4, 8] {
+            let table = modeled_depth_makespans(
+                &resnet_ish(),
+                world,
+                ClusterNetwork::ethernet_10g(),
+                32,
+                10,
+                4,
+            );
+            for pair in table.windows(2) {
+                assert!(
+                    pair[1].1 <= pair[0].1 + 1e-15,
+                    "world {world}: depth {} ({}) models worse than depth {} ({})",
+                    pair[1].0,
+                    pair[1].1,
+                    pair[0].0,
+                    pair[0].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_two_iteration_window_maps_onto_windowed() {
+        let dims = resnet_ish();
+        let net = ClusterNetwork::ethernet_10g();
+        for (mode, depth) in [(OverlapMode::Pipelined, 1), (OverlapMode::Runtime, 2)] {
+            let legacy = CrossIterModel::new(&dims, 4, net, 32, mode);
+            let windowed = CrossIterModel::windowed(
+                &dims,
+                4,
+                net,
+                32,
+                WindowSpec { depth, factor_update_freq: 1, iterations: 2 },
+            );
+            assert_eq!(legacy.tasks().len(), windowed.tasks().len());
+            assert!((legacy.makespan() - windowed.makespan()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn out_of_phase_iterations_carry_no_factor_tasks() {
+        let model = CrossIterModel::windowed(
+            &resnet_ish(),
+            4,
+            ClusterNetwork::ethernet_10g(),
+            32,
+            WindowSpec { depth: 3, factor_update_freq: 5, iterations: 10 },
+        );
+        for t in model.tasks() {
+            if matches!(
+                t.stage,
+                CrossStage::FactorFinalize | CrossStage::FactorComm | CrossStage::FactorFold
+            ) {
+                assert_eq!(t.iter % 5, 0, "factor task planned on out-of-phase iteration");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_depth_is_deterministic_and_bounded() {
+        let dims = resnet_mini_dims();
+        let net = ClusterNetwork::ethernet_10g();
+        let d = auto_cross_iter_depth(&dims, 8, net, 5);
+        assert!((1..=4).contains(&d));
+        // Pure function: repeated evaluation agrees bit for bit.
+        assert_eq!(d, auto_cross_iter_depth(&dims, 8, net, 5));
+        // F = 1 always degenerates to depth 1 (the live window force-drains
+        // before every factor step).
+        assert_eq!(auto_cross_iter_depth(&dims, 8, net, 1), 1);
+    }
+
+    #[test]
+    fn auto_depth_exceeds_one_on_the_comm_bound_reference() {
+        // Where the depth win is real (fig7 reference config), auto must
+        // actually take it.
+        let d = auto_cross_iter_depth(&resnet_mini_dims(), 8, ClusterNetwork::ethernet_10g(), 5);
+        assert!(d >= 2, "auto depth picked {d} on a comm-bound config with F=5");
     }
 
     #[test]

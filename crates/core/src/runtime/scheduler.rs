@@ -54,6 +54,9 @@ struct Node {
     done: bool,
     /// Withheld from scheduling (the `step_begin`/`step_finish` split).
     held: bool,
+    /// The task may outlive its step's drain: [`Scheduler::run_released`]
+    /// exits without waiting for it, leaving it to a later window poll.
+    deferrable: bool,
 }
 
 /// Per-rank cooperative scheduler with gated begins and parked completes.
@@ -67,6 +70,10 @@ pub struct Scheduler {
     group_seq: Vec<u64>,
     rank: usize,
     stall_timeout: Duration,
+    /// `(window index, iteration number)` of the step this DAG belongs to,
+    /// included in the watchdog panic and the state dump so a stall in a
+    /// depth-D window names *which* in-flight step wedged.
+    window: Option<(u64, u64)>,
 }
 
 impl Scheduler {
@@ -80,7 +87,21 @@ impl Scheduler {
             group_seq: Vec::new(),
             rank,
             stall_timeout: Duration::from_millis(stall_timeout_ms),
+            window: None,
         }
+    }
+
+    /// Like [`Scheduler::new`], tagged with the cross-iteration window index
+    /// and iteration number the DAG was planned for (watchdog context).
+    pub fn with_window(
+        rank: usize,
+        stall_timeout_ms: u64,
+        window_index: u64,
+        iteration: u64,
+    ) -> Self {
+        let mut sched = Scheduler::new(rank, stall_timeout_ms);
+        sched.window = Some((window_index, iteration));
+        sched
     }
 
     /// Register a communication group and return its gate-group id.
@@ -124,6 +145,7 @@ impl Scheduler {
             parked: false,
             done: false,
             held: false,
+            deferrable: false,
         });
         id
     }
@@ -131,6 +153,20 @@ impl Scheduler {
     /// Withhold a task from scheduling until [`Scheduler::release_all`].
     pub fn hold(&mut self, id: usize) {
         self.nodes[id].held = true;
+    }
+
+    /// Mark a task deferrable: [`Scheduler::run_released`] may exit before
+    /// it finishes, leaving it for the cross-iteration window to drain.
+    /// Only complete-side (ungated) tasks whose dependencies are all
+    /// non-deferrable may be deferred — a deferred *begin* would desync the
+    /// per-group collective issue order across ranks.
+    pub fn mark_deferrable(&mut self, id: usize) {
+        debug_assert!(
+            self.nodes[id].gate.is_none(),
+            "gated task '{}' cannot be deferrable: begins must issue in-step",
+            self.nodes[id].label
+        );
+        self.nodes[id].deferrable = true;
     }
 
     /// Release every held task.
@@ -156,17 +192,33 @@ impl Scheduler {
     /// if no task finishes for the stall-watchdog timeout while unfinished
     /// tasks remain.
     pub fn run(&mut self, mut poll: impl FnMut(usize) -> TaskPoll) {
+        self.run_until(&mut poll, false);
+    }
+
+    /// Like [`Scheduler::run`], but exit as soon as every *non-deferrable*
+    /// task is done — deferrable tasks still run opportunistically on each
+    /// pass, but an in-flight collective backing one never blocks the exit
+    /// (the cross-iteration window drains it later). The stall watchdog
+    /// likewise counts only non-deferrable work: once all of it is done, a
+    /// not-yet-ready deferrable collective is residue, not a stall.
+    pub fn run_released(&mut self, mut poll: impl FnMut(usize) -> TaskPoll) {
+        self.run_until(&mut poll, true);
+    }
+
+    fn run_until(&mut self, poll: &mut impl FnMut(usize) -> TaskPoll, exit_on_deferrable: bool) {
         let mut last_progress = Instant::now();
         loop {
             let mut progress = false;
-            let mut remaining = false;
+            let mut blocking = false;
             for id in 0..self.nodes.len() {
                 {
                     let node = &self.nodes[id];
                     if node.done || node.held {
                         continue;
                     }
-                    remaining = true;
+                    if !(exit_on_deferrable && node.deferrable) {
+                        blocking = true;
+                    }
                     if node.deps_remaining > 0 {
                         continue;
                     }
@@ -191,16 +243,20 @@ impl Scheduler {
                     }
                 }
             }
-            if !remaining {
+            if !blocking {
                 return;
             }
             if progress {
                 last_progress = Instant::now();
             } else {
                 if last_progress.elapsed() >= self.stall_timeout {
+                    let window = match self.window {
+                        Some((w, it)) => format!(" (window {w}, iteration {it})"),
+                        None => String::new(),
+                    };
                     panic!(
-                        "rank {}: runtime stall watchdog fired after {:?} with no progress \
-                         (likely a mismatched collective)\n{}",
+                        "rank {}{window}: runtime stall watchdog fired after {:?} with no \
+                         progress (likely a mismatched collective)\n{}",
                         self.rank,
                         self.stall_timeout,
                         self.dump()
@@ -211,6 +267,44 @@ impl Scheduler {
                 std::thread::sleep(Duration::from_micros(100));
             }
         }
+    }
+
+    /// One non-blocking pass over the DAG: run every currently runnable
+    /// task once (parking completes whose collective is still in flight)
+    /// and return [`Scheduler::all_done`]. Never sleeps and never trips the
+    /// watchdog — the cross-iteration window uses it to drain retired steps
+    /// opportunistically.
+    pub fn poll_pass(&mut self, mut poll: impl FnMut(usize) -> TaskPoll) -> bool {
+        for id in 0..self.nodes.len() {
+            {
+                let node = &self.nodes[id];
+                if node.done || node.held || node.deps_remaining > 0 {
+                    continue;
+                }
+                if let Some((g, seq)) = node.gate {
+                    if self.group_next[g] != seq {
+                        continue;
+                    }
+                }
+            }
+            match poll(id) {
+                TaskPoll::Done => self.finish(id),
+                TaskPoll::Pending => {
+                    assert!(
+                        self.nodes[id].gate.is_none(),
+                        "gated task '{}' returned Pending: begins never block",
+                        self.nodes[id].label
+                    );
+                    self.nodes[id].parked = true;
+                }
+            }
+        }
+        self.all_done()
+    }
+
+    /// True when every task in the DAG has finished.
+    pub fn all_done(&self) -> bool {
+        self.nodes.iter().all(|n| n.done)
     }
 
     fn finish(&mut self, id: usize) {
@@ -231,7 +325,11 @@ impl Scheduler {
     pub fn dump(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "task states on rank {}:", self.rank);
+        let window = match self.window {
+            Some((w, it)) => format!(" (window {w}, iteration {it})"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "task states on rank {}{window}:", self.rank);
         for (id, node) in self.nodes.iter().enumerate() {
             let state = if node.done {
                 "done".to_string()
@@ -250,7 +348,8 @@ impl Scheduler {
                 Some((g, seq)) => format!(" gate=({g},{seq})"),
                 None => String::new(),
             };
-            let _ = writeln!(out, "  [{id}] {}{gate}: {state}", node.label);
+            let defer = if node.deferrable { " [deferrable]" } else { "" };
+            let _ = writeln!(out, "  [{id}] {}{gate}: {state}{defer}", node.label);
         }
         for (g, members) in self.groups.iter().enumerate() {
             let _ = writeln!(
@@ -384,6 +483,66 @@ mod tests {
         let g = sched.add_group(&[0, 1]);
         sched.add_task("bad-begin".into(), Some(g), &[]);
         sched.run(|_| TaskPoll::Pending);
+    }
+
+    #[test]
+    fn run_released_exits_past_pending_deferrable_work() {
+        let mut sched = Scheduler::new(0, 50);
+        let a = sched.add_task("begin".into(), None, &[]);
+        let d = sched.add_task("deferred-complete".into(), None, &[a]);
+        sched.mark_deferrable(d);
+        // The deferrable complete never becomes ready; run_released must
+        // exit once the begin is done instead of tripping the watchdog.
+        sched.run_released(|id| if id == a { TaskPoll::Done } else { TaskPoll::Pending });
+        assert!(!sched.all_done());
+        // A later window poll drains it once the collective lands.
+        assert!(sched.poll_pass(|_| TaskPoll::Done));
+        assert!(sched.all_done());
+    }
+
+    #[test]
+    fn run_released_still_drains_ready_deferrable_work() {
+        let mut sched = Scheduler::new(0, 1000);
+        let a = sched.add_task("begin".into(), None, &[]);
+        let d = sched.add_task("deferred-complete".into(), None, &[a]);
+        sched.mark_deferrable(d);
+        sched.run_released(|_| TaskPoll::Done);
+        assert!(sched.all_done(), "a ready deferrable task should finish in-step");
+    }
+
+    #[test]
+    #[should_panic(expected = "stall watchdog")]
+    fn run_released_watchdog_counts_non_deferrable_work() {
+        let mut sched = Scheduler::new(0, 50);
+        sched.add_task("stuck-complete".into(), None, &[]);
+        sched.run_released(|_| TaskPoll::Pending);
+    }
+
+    #[test]
+    fn poll_pass_never_blocks() {
+        let mut sched = Scheduler::new(0, 1000);
+        let a = sched.add_task("a".into(), None, &[]);
+        let _b = sched.add_task("b".into(), None, &[a]);
+        assert!(!sched.poll_pass(|id| if id == a { TaskPoll::Pending } else { TaskPoll::Done }));
+        assert!(sched.poll_pass(|_| TaskPoll::Done));
+    }
+
+    #[test]
+    #[should_panic(expected = "window 7, iteration 42")]
+    fn watchdog_panic_names_the_window_and_iteration() {
+        let mut sched = Scheduler::with_window(0, 50, 7, 42);
+        sched.add_task("stuck".into(), None, &[]);
+        sched.run(|_| TaskPoll::Pending);
+    }
+
+    #[test]
+    fn dump_includes_window_context_and_deferrable_marker() {
+        let mut sched = Scheduler::with_window(1, 1000, 3, 11);
+        let t = sched.add_task("factor-complete L0".into(), None, &[]);
+        sched.mark_deferrable(t);
+        let dump = sched.dump();
+        assert!(dump.contains("(window 3, iteration 11)"));
+        assert!(dump.contains("[deferrable]"));
     }
 
     #[test]

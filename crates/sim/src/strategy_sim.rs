@@ -152,8 +152,21 @@ impl IterationBreakdown {
     /// Never below the irreducible baseline chain, never above
     /// [`IterationBreakdown::overlapped_total`].
     pub fn runtime_total(&self) -> f64 {
+        self.runtime_total_with_depth(2)
+    }
+
+    /// [`IterationBreakdown::runtime_total`] generalized to a depth-`depth`
+    /// cross-iteration window: each additional in-flight iteration donates
+    /// one more forward-pass third to hide deferred factor work under, so
+    /// the hideable window is `(depth - 1) * forward_backward / 3`. Depth 1
+    /// is the sweep pipeline (nothing crosses the iteration boundary);
+    /// depth 2 reproduces [`IterationBreakdown::runtime_total`] exactly.
+    /// The amortized factor phase saturates: once it is fully hidden,
+    /// deeper windows stop helping.
+    pub fn runtime_total_with_depth(&self, depth: usize) -> f64 {
+        assert!(depth >= 1, "window depth must be at least 1");
         let factor_phase = self.factor_compute.max(self.factor_comm);
-        let forward_window = self.forward_backward / 3.0;
+        let forward_window = (depth - 1) as f64 * self.forward_backward / 3.0;
         let hidden = factor_phase.min(forward_window);
         (self.overlapped_total() - hidden)
             .max(self.forward_backward + self.grad_allreduce + self.scale)
@@ -459,6 +472,25 @@ mod tests {
             "factor phase {} should hide under the forward window",
             b.factor_compute.max(b.factor_comm)
         );
+    }
+
+    #[test]
+    fn runtime_total_with_depth_is_monotone_and_saturating() {
+        let b = rn50_sim(0.5).iteration_breakdown();
+        // Depth 1 = no cross-iteration hiding; depth 2 = the legacy model.
+        assert_eq!(b.runtime_total_with_depth(1), b.overlapped_total());
+        assert_eq!(b.runtime_total_with_depth(2), b.runtime_total());
+        let mut prev = b.runtime_total_with_depth(1);
+        for depth in 2..=6 {
+            let t = b.runtime_total_with_depth(depth);
+            assert!(t <= prev + 1e-15, "depth {depth}: {t} regressed from {prev}");
+            prev = t;
+        }
+        // Once the amortized factor phase is fully hidden, deeper windows
+        // stop helping: times saturate at the baseline-bounded floor.
+        let deep = b.runtime_total_with_depth(32);
+        assert!(deep <= b.runtime_total_with_depth(6) + 1e-15);
+        assert!(deep >= b.forward_backward + b.grad_allreduce + b.scale);
     }
 
     #[test]

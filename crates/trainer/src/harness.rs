@@ -178,6 +178,12 @@ where
         }
     }
 
+    // A depth-D window may retire steps with deferred factor completes
+    // still in flight; drain them so the complete-side accounting below
+    // (comm bytes, stage times, meters) is final on every rank.
+    if let Some(kfac) = &mut kfac {
+        kfac.flush(comm);
+    }
     result.total_seconds = start.elapsed().as_secs_f64();
     result.iterations = iterations;
     result.avg_iteration_seconds =
@@ -358,13 +364,17 @@ mod tests {
             )
         };
         let serial = run(kc.clone().build());
-        let lookahead = run(kc.async_runtime(true).build());
-        assert_eq!(serial.iterations, lookahead.iterations);
-        assert_eq!(serial.kfac_comm_bytes, lookahead.kfac_comm_bytes);
-        for (a, b) in serial.epochs.iter().zip(&lookahead.epochs) {
-            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits(), "epoch {}", a.epoch);
-            assert_eq!(a.val_loss.to_bits(), b.val_loss.to_bits(), "epoch {}", a.epoch);
-            assert_eq!(a.val_metric.to_bits(), b.val_metric.to_bits(), "epoch {}", a.epoch);
+        // Depth 1 is the classic two-half lookahead; depth 3 retires steps
+        // into the cross-iteration window. Both must be trajectory-exact.
+        for depth in [1usize, 3] {
+            let lookahead = run(kc.clone().async_runtime(true).cross_iter_depth(depth).build());
+            assert_eq!(serial.iterations, lookahead.iterations, "depth {depth}");
+            assert_eq!(serial.kfac_comm_bytes, lookahead.kfac_comm_bytes, "depth {depth}");
+            for (a, b) in serial.epochs.iter().zip(&lookahead.epochs) {
+                assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits(), "epoch {}", a.epoch);
+                assert_eq!(a.val_loss.to_bits(), b.val_loss.to_bits(), "epoch {}", a.epoch);
+                assert_eq!(a.val_metric.to_bits(), b.val_metric.to_bits(), "epoch {}", a.epoch);
+            }
         }
     }
 

@@ -49,8 +49,9 @@ fn train(
             last_grads = model.grads_flat();
             opt.step_model(&mut model, 0.1);
         }
-        // The meter is shared per world; quiesce all ranks before reading it
-        // so every collective of the final step has been recorded.
+        // Drain any depth-D window residue, then quiesce all ranks so every
+        // collective of the final step has been recorded in the meter.
+        kfac.flush(comm);
         comm.barrier();
         (model.params_flat(), last_grads, kfac.comm_bytes(), comm.meter_snapshot())
     })
@@ -352,6 +353,7 @@ fn train_lookahead(
             last_grads = model.grads_flat();
             opt.step_model(&mut model, 0.1);
         }
+        kfac.flush(comm);
         comm.barrier();
         (model.params_flat(), last_grads, kfac.comm_bytes(), comm.meter_snapshot())
     })
@@ -425,6 +427,132 @@ fn lookahead_split_is_bitwise_identical_to_monolithic_step() {
     }
 }
 
+/// Like [`train_lookahead`], but with gradient accumulation: each step's
+/// indices split into `grad_accum` micro-batches whose gradients (and K-FAC
+/// statistics) accumulate before the split-step K-FAC update.
+fn train_lookahead_accum(
+    world: usize,
+    steps: usize,
+    seed: u64,
+    grad_accum: usize,
+    build: impl Fn(KfacConfigBuilder) -> KfacConfigBuilder + Sync,
+) -> Vec<(Vec<f32>, Vec<f32>, u64, MeterSnapshot)> {
+    let dataset = GaussianBlobs::generate(128, 8, 4, 0.4, seed);
+    ThreadComm::run(world, |comm| {
+        let mut model = Mlp::new(&[8, 12, 4], &mut Rng::seed_from_u64(seed + 1));
+        let mut opt = Sgd::with_momentum(0.9);
+        let cfg = build(
+            KfacConfig::builder().factor_update_freq(2).inv_update_freq(4).async_runtime(true),
+        )
+        .build();
+        let mut kfac = Kfac::new(cfg, &mut model, comm);
+        let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, seed);
+        let mut last_grads = Vec::new();
+        for step in 0..steps {
+            let epoch = step / sampler.batches_per_epoch();
+            let batches = sampler.epoch_batches(epoch);
+            let indices = &batches[step % sampler.batches_per_epoch()];
+            kfac.prepare(&mut model);
+            model.zero_grad();
+            let micro = indices.len().div_ceil(grad_accum).max(1);
+            for chunk in indices.chunks(micro) {
+                let (x, y) = dataset.batch(chunk);
+                let _ = model.forward_backward(&x, &y);
+            }
+            kfac.step_begin(&mut model, comm);
+            kaisa::trainer::allreduce_gradients(&mut model, comm, grad_accum);
+            kfac.step_finish(&mut model, comm, 0.1);
+            last_grads = model.grads_flat();
+            opt.step_model(&mut model, 0.1);
+        }
+        kfac.flush(comm);
+        comm.barrier();
+        (model.params_flat(), last_grads, kfac.comm_bytes(), comm.meter_snapshot())
+    })
+}
+
+#[test]
+fn depth_window_is_bitwise_identical_across_depths_and_layouts() {
+    // The tentpole contract: a depth-D cross-iteration window defers factor
+    // completes across iteration boundaries but must not change a single
+    // bit of training vs the serial executor, dense or sharded.
+    for depth in [1usize, 2, 3] {
+        for sharded in [false, true] {
+            let serial = train(4, 10, 31, |b| {
+                b.grad_worker_frac(0.5).pipelined(false).sharded_factors(sharded)
+            });
+            let windowed = train(4, 10, 31, |b| {
+                b.grad_worker_frac(0.5)
+                    .async_runtime(true)
+                    .cross_iter_depth(depth)
+                    .sharded_factors(sharded)
+            });
+            let ctx = format!("depth={depth} sharded={sharded}");
+            assert_bitwise_equal(&serial, &windowed, &ctx);
+        }
+    }
+}
+
+#[test]
+fn depth_window_is_bitwise_identical_with_fp16_triangular_and_grad_accum() {
+    // Depth 3 through the lookahead split, with half-precision triangular
+    // factor payloads and 2-way gradient accumulation — the layouts that
+    // most reshape what the deferred completes unpack and fold.
+    for (precision, triangular, sharded) in [
+        (Precision::Fp16, true, false),
+        (Precision::Fp16, false, true),
+        (Precision::Fp32, true, true),
+    ] {
+        let serial = train(4, 8, 47, move |b| {
+            b.grad_worker_frac(0.5)
+                .precision(precision)
+                .triangular_comm(triangular)
+                .sharded_factors(sharded)
+                .pipelined(false)
+        });
+        let deep = train_lookahead_accum(4, 8, 47, 1, move |b| {
+            b.grad_worker_frac(0.5)
+                .precision(precision)
+                .triangular_comm(triangular)
+                .sharded_factors(sharded)
+                .cross_iter_depth(3)
+        });
+        let ctx = format!("depth=3 precision={precision:?} tri={triangular} sharded={sharded}");
+        assert_bitwise_equal(&serial, &deep, &ctx);
+    }
+    // Gradient accumulation: micro-batch statistics accumulate identically
+    // whether the window runs at depth 1 or depth 3.
+    let shallow = train_lookahead_accum(4, 8, 53, 2, |b| {
+        b.grad_worker_frac(0.5).sharded_factors(true).cross_iter_depth(1)
+    });
+    let deep = train_lookahead_accum(4, 8, 53, 2, |b| {
+        b.grad_worker_frac(0.5).sharded_factors(true).cross_iter_depth(3)
+    });
+    assert_bitwise_equal(&shallow, &deep, "depth=3 grad_accum=2");
+}
+
+#[test]
+fn depth_auto_resolves_identically_on_every_rank() {
+    // depth(auto) is a pure function of layer dims, world size, network,
+    // and the factor update frequency — so every rank must resolve the
+    // same depth without communicating.
+    let depths = ThreadComm::run(4, |comm| {
+        let mut model = Mlp::new(&[8, 12, 4], &mut Rng::seed_from_u64(9));
+        let cfg = KfacConfig::builder()
+            .factor_update_freq(5)
+            .inv_update_freq(10)
+            .async_runtime(true)
+            .cross_iter_depth_auto()
+            .network(ClusterNetwork::ethernet_10g())
+            .build();
+        let kfac = Kfac::new(cfg, &mut model, comm);
+        comm.barrier();
+        kfac.cross_iter_depth()
+    });
+    assert!(depths.iter().all(|&d| d == depths[0]), "ranks disagree on auto depth: {depths:?}");
+    assert!(depths[0] >= 1);
+}
+
 #[test]
 fn cost_model_shows_overlap_win_on_comm_bound_resnet() {
     // The acceptance configuration: ResNetMini layer dims, world 8,
@@ -487,6 +615,7 @@ proptest! {
         seed in 100u64..200,
         sharded in any::<bool>(),
         runtime in any::<bool>(),
+        depth in 1usize..4,
     ) {
         let serial = train(world, steps, seed, |b| {
             b.grad_worker_frac(frac).pipelined(false).sharded_factors(sharded)
@@ -495,6 +624,7 @@ proptest! {
             b.grad_worker_frac(frac)
                 .pipelined(!runtime)
                 .async_runtime(runtime)
+                .cross_iter_depth(if runtime { depth } else { 1 })
                 .sharded_factors(sharded)
         });
         for (rank, (s, p)) in serial.iter().zip(&pipelined).enumerate() {
