@@ -6,12 +6,13 @@
 //! cargo run --release -p kaisa-bench --bin bench_report            # full
 //! cargo run --release -p kaisa-bench --bin bench_report -- --quick # CI
 //! cargo run --release -p kaisa-bench --bin bench_report -- --out path.json
+//! cargo run --release -p kaisa-bench --bin bench_report -- --strategy local-opt
 //! ```
 
 use std::time::Instant;
 
 use kaisa_comm::{ClusterNetwork, Communicator};
-use kaisa_core::{modeled_depth_makespans, Kfac, KfacConfig, MemoryCategory};
+use kaisa_core::{modeled_depth_makespans, DistStrategy, Kfac, KfacConfig, MemoryCategory};
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
 use kaisa_nn::Model;
@@ -23,6 +24,9 @@ struct Scale {
     epochs: usize,
     samples: usize,
     quick: bool,
+    /// Explicit `--strategy` override; `None` keeps the default
+    /// HYBRID-OPT configuration (`grad_worker_frac = 0.5`).
+    strategy: Option<DistStrategy>,
 }
 
 struct RunStats {
@@ -36,6 +40,8 @@ struct RunStats {
     peak_memory_bytes: usize,
     /// Peak bytes pinned by retired cross-iteration window steps.
     peak_held_window_bytes: usize,
+    /// Distribution strategy the run actually resolved to.
+    strategy: &'static str,
 }
 
 /// One measured training run on thread ranks. `depth` only matters with
@@ -45,18 +51,23 @@ fn run(scale: &Scale, pipelined: bool, runtime: bool, depth: usize) -> RunStats 
     let epochs = scale.epochs;
     let world = scale.world;
     let start = Instant::now();
+    let strategy = scale.strategy;
     let mut results = kaisa_comm::ThreadComm::run(world, |comm| {
         let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
-        let cfg = KfacConfig::builder()
+        let mut builder = KfacConfig::builder()
             .grad_worker_frac(0.5)
             .factor_update_freq(5)
             .inv_update_freq(10)
             .pipelined(pipelined)
-            .sharded_factors(true)
+            // LOCAL-OPT keeps no global factors, so there is nothing to
+            // shard; `validate()` rejects the combination.
+            .sharded_factors(strategy != Some(DistStrategy::LocalOpt))
             .async_runtime(runtime)
-            .cross_iter_depth(if runtime { depth } else { 1 })
-            .build();
-        let mut kfac = Kfac::new(cfg, &mut model, comm);
+            .cross_iter_depth(if runtime { depth } else { 1 });
+        if let Some(s) = strategy {
+            builder = builder.strategy(s);
+        }
+        let mut kfac = Kfac::new(builder.build(), &mut model, comm);
         let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
         for epoch in 0..epochs {
             for indices in sampler.epoch_batches(epoch) {
@@ -84,6 +95,7 @@ fn run(scale: &Scale, pipelined: bool, runtime: bool, depth: usize) -> RunStats 
             steps: kfac.steps(),
             peak_memory_bytes: meter.peak_total(),
             peak_held_window_bytes: meter.peak(MemoryCategory::HeldWindows),
+            strategy: kfac.strategy().name(),
         }
     });
     let wall = start.elapsed().as_secs_f64();
@@ -119,17 +131,24 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let strategy: Option<DistStrategy> = args.iter().position(|a| a == "--strategy").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--strategy needs a value"))
+            .parse()
+            .unwrap_or_else(|e| panic!("{e}"))
+    });
     let scale = if quick {
-        Scale { world: 4, epochs: 1, samples: 256, quick }
+        Scale { world: 4, epochs: 1, samples: 256, quick, strategy }
     } else {
-        Scale { world: 8, epochs: 3, samples: 512, quick }
+        Scale { world: 8, epochs: 3, samples: 512, quick, strategy }
     };
 
     eprintln!(
-        "bench_report: world={} epochs={} samples={} ({})",
+        "bench_report: world={} epochs={} samples={} strategy={} ({})",
         scale.world,
         scale.epochs,
         scale.samples,
+        scale.strategy.map(|s| s.name()).unwrap_or("default"),
         if quick { "quick" } else { "full" }
     );
 
@@ -173,11 +192,12 @@ fn main() {
         );
         depth_entries.push(format!(
             concat!(
-                "    {{\"depth\": {}, \"wall_ms_per_step\": {:.6}, ",
+                "    {{\"depth\": {}, \"strategy\": \"{}\", \"wall_ms_per_step\": {:.6}, ",
                 "\"kfac_ms_per_step\": {:.6}, \"modeled_amortized_ms\": {:.6}, ",
                 "\"peak_memory_bytes\": {}, \"peak_held_window_bytes\": {}}}"
             ),
             depth,
+            json_escape(stats.strategy),
             wall_ms,
             kfac_ms,
             amortized * 1e3,
@@ -197,17 +217,19 @@ fn main() {
             "  \"factor_update_freq\": 5,\n",
             "  \"network_model\": \"10GbE\",\n",
             "  \"executors\": {{\n",
-            "    \"serial\": {{\"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
-            "    \"pipelined\": {{\"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
+            "    \"serial\": {{\"strategy\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
+            "    \"pipelined\": {{\"strategy\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
             "  }},\n",
             "  \"runtime_depths\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scale.quick,
         scale.world,
+        json_escape(serial.strategy),
         serial_wall,
         serial_kfac,
         serial.peak_memory_bytes,
+        json_escape(pipelined.strategy),
         pipelined_wall,
         pipelined_kfac,
         pipelined.peak_memory_bytes,

@@ -12,8 +12,9 @@ use kaisa_comm::{
     ClusterNetwork, CollectiveCostModel, CommTag, Communicator, MeterSnapshot, ThreadComm,
 };
 use kaisa_core::{
-    modeled_cross_iter_makespans, modeled_depth_makespans, plan_assignments, priority_sweep_order,
-    AssignmentStrategy, ComputeRates, Kfac, KfacConfig, StepModel, StepModelOptions, KFAC_STAGES,
+    auto_strategy, modeled_cross_iter_makespans, modeled_depth_makespans,
+    modeled_strategy_makespans, plan_assignments, priority_sweep_order, AssignmentStrategy,
+    ComputeRates, FactorReduction, Kfac, KfacConfig, StepModel, StepModelOptions, KFAC_STAGES,
 };
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
@@ -215,6 +216,32 @@ fn cost_model() {
         )
     );
 
+    println!("== Strategy dispatch: modeled amortized ms/iter (batch 32, F=10, K=100) ==\n");
+    let mut rows = Vec::new();
+    for world in [8usize, 64] {
+        for (name, net) in [
+            ("10GbE", ClusterNetwork::ethernet_10g()),
+            ("IB-EDR", ClusterNetwork::infiniband_edr()),
+        ] {
+            let table = modeled_strategy_makespans(&dims, world, net, 32, 10, 100);
+            let pick = auto_strategy(&dims, world, net);
+            let mut row = vec![format!("{world}"), name.to_string()];
+            for &(_, secs) in &table {
+                row.push(format!("{:.3}", secs * 1e3));
+            }
+            row.push(pick.to_string());
+            rows.push(row);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["world", "network", "MEM-OPT", "HYBRID-OPT", "COMM-OPT", "LOCAL-OPT", "auto pick"],
+            &rows
+        )
+    );
+    println!("(LOCAL-OPT is DP-KFAC's zero-factor-traffic point — shown for the tradeoff, never auto-picked because it changes the update)\n");
+
     println!("== Cross-iteration window: two-iteration makespan, pipelined vs runtime ==\n");
     let mut rows = Vec::new();
     for world in [4usize, 8] {
@@ -310,7 +337,8 @@ fn sharded() {
         ] {
             let cost = CollectiveCostModel::new(net);
             let dense_opts = StepModelOptions::dense(4, false);
-            let shard_opts = StepModelOptions { sharded: true, ..dense_opts };
+            let shard_opts =
+                StepModelOptions { reduction: FactorReduction::ShardedReduceScatter, ..dense_opts };
             let ms = |opts: StepModelOptions<'_>| {
                 StepModel::with_options(&dims, &plan, &cost, &rates, opts).pipelined_seconds() * 1e3
             };

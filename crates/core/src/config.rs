@@ -3,7 +3,7 @@
 use kaisa_comm::ClusterNetwork;
 use kaisa_tensor::Precision;
 
-use crate::AssignmentStrategy;
+use crate::{AssignmentStrategy, DistStrategy};
 
 /// Depth of the task runtime's cross-iteration scheduling window: how many
 /// step DAGs may be in flight at once (the current step plus retired
@@ -31,6 +31,20 @@ pub struct KfacConfig {
     /// Fraction of ranks that act as gradient workers per layer
     /// (Section 3.1). `1/world` = MEM-OPT, `1` = COMM-OPT.
     pub grad_worker_frac: f64,
+    /// Explicit distribution-strategy override. `None` (the default)
+    /// classifies the strategy from the `grad_worker_frac`-derived worker
+    /// count. `Some(MemOpt)`/`Some(CommOpt)` pin the worker grid to the
+    /// corresponding extreme regardless of the fraction;
+    /// `Some(HybridOpt)` keeps the configured fraction.
+    /// `Some(LocalOpt)` selects DP-KFAC local preconditioning: one owner
+    /// per layer folds and decomposes its rank-local factor statistics with
+    /// **no factor collective at all** — zero `FactorComm`/`FactorReduce`/
+    /// `FactorGather` traffic, at the cost of curvature freshness (each
+    /// owner's preconditioner reflects only its own rank's data shard).
+    /// LocalOpt is never inferred; it must be requested here. Feed
+    /// [`crate::auto_strategy`] into this field to dispatch from the
+    /// calibrated cost model.
+    pub strategy: Option<DistStrategy>,
     /// Tikhonov damping γ added to the eigenvalue outer product (Eq. 16).
     pub damping: f32,
     /// Exponential decay of the running factor averages
@@ -122,6 +136,7 @@ impl Default for KfacConfig {
     fn default() -> Self {
         KfacConfig {
             grad_worker_frac: 1.0,
+            strategy: None,
             damping: 0.003,
             factor_decay: 0.95,
             kl_clip: Some(0.001),
@@ -173,6 +188,11 @@ impl KfacConfig {
             "cross_iter_depth beyond 1 requires async_runtime(true): only the task \
              runtime can hold a retired step DAG in flight"
         );
+        assert!(
+            self.strategy != Some(DistStrategy::LocalOpt) || !self.sharded_factors,
+            "LocalOpt never runs a factor collective, so sharded_factors(true) \
+             has nothing to shard — drop one of the two settings"
+        );
     }
 }
 
@@ -186,6 +206,14 @@ impl KfacConfigBuilder {
     /// Set `grad_worker_frac` (Section 3.1).
     pub fn grad_worker_frac(mut self, frac: f64) -> Self {
         self.cfg.grad_worker_frac = frac;
+        self
+    }
+
+    /// Pin the distribution strategy explicitly (see
+    /// [`KfacConfig::strategy`]); `LocalOpt` selects DP-KFAC local
+    /// preconditioning with zero factor-collective traffic.
+    pub fn strategy(mut self, strategy: DistStrategy) -> Self {
+        self.cfg.strategy = Some(strategy);
         self
     }
 
@@ -362,6 +390,20 @@ mod tests {
     #[should_panic(expected = "requires async_runtime")]
     fn deep_window_requires_the_task_runtime() {
         let _ = KfacConfig::builder().cross_iter_depth(3).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to shard")]
+    fn local_opt_rejects_sharded_factors() {
+        let _ =
+            KfacConfig::builder().strategy(DistStrategy::LocalOpt).sharded_factors(true).build();
+    }
+
+    #[test]
+    fn strategy_builder_roundtrip() {
+        let cfg = KfacConfig::builder().strategy(DistStrategy::LocalOpt).build();
+        assert_eq!(cfg.strategy, Some(DistStrategy::LocalOpt));
+        assert_eq!(KfacConfig::default().strategy, None);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use kaisa_comm::CollectiveCostModel;
 use crate::assignment::WorkPlan;
 use crate::pipeline::stage::PipelineStage;
 use crate::state::factor_payload_len;
+use crate::strategy::{FactorReduction, StrategyPlan};
 
 /// What a task occupies while it runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,13 +185,15 @@ pub struct StepModelOptions<'a> {
     pub elem_bytes: usize,
     /// Triangular factor packing (Section 4.3).
     pub triangular: bool,
-    /// Model the sharded factor reduction (`FactorReduce` replaces the
-    /// world allreduce; folds run only on the owning eigendecomposition
-    /// workers).
-    pub sharded: bool,
-    /// With `sharded`, also model the `FactorGather` regather within each
-    /// layer's eigendecomposition worker group — the direct-inverse
-    /// fallback, whose solver consumes both factors on one rank.
+    /// Which factor-reduction mode to model: the dense world allreduce, the
+    /// sharded reduce-scatter (folds run only on the owning
+    /// eigendecomposition workers), or LOCAL-OPT's no-collective local fold
+    /// (finalize and fold on the single owner, no network task at all).
+    pub reduction: FactorReduction,
+    /// With the sharded reduction, also model the `FactorGather` regather
+    /// within each layer's eigendecomposition worker group — the
+    /// direct-inverse fallback, whose solver consumes both factors on one
+    /// rank.
     pub gather: bool,
     /// Issue layers within each phase in this order instead of `0..n`
     /// (the pipelined executor's priority schedule). Must be a permutation.
@@ -200,7 +203,26 @@ pub struct StepModelOptions<'a> {
 impl StepModelOptions<'_> {
     /// Dense-path options: world allreduce, fixed layer order.
     pub fn dense(elem_bytes: usize, triangular: bool) -> Self {
-        StepModelOptions { elem_bytes, triangular, sharded: false, gather: false, order: None }
+        StepModelOptions {
+            elem_bytes,
+            triangular,
+            reduction: FactorReduction::DenseAllreduce,
+            gather: false,
+            order: None,
+        }
+    }
+
+    /// The options a resolved [`StrategyPlan`] implies — the one mapping
+    /// from the strategy layer into the α–β step model, shared by the
+    /// priority scheduler and the cost sweeps.
+    pub fn from_plan(elem_bytes: usize, triangular: bool, plan: &StrategyPlan) -> Self {
+        StepModelOptions {
+            elem_bytes,
+            triangular,
+            reduction: plan.reduction,
+            gather: plan.regather_split_layers,
+            order: None,
+        }
     }
 }
 
@@ -247,7 +269,9 @@ impl StepModel {
         opts: StepModelOptions<'_>,
     ) -> Self {
         assert_eq!(dims.len(), plan.layers.len(), "plan must cover every layer");
-        let StepModelOptions { elem_bytes, triangular, sharded, gather, order } = opts;
+        let StepModelOptions { elem_bytes, triangular, reduction, gather, order } = opts;
+        let sharded = reduction == FactorReduction::ShardedReduceScatter;
+        let local = reduction == FactorReduction::LocalNone;
         let world = plan.world;
         let mut graph = TaskGraph::new();
         let mut serial = 0.0f64;
@@ -306,12 +330,27 @@ impl StepModel {
         // Sweep A: finalize on every rank, then post the collective (world
         // allreduce, or the sharded reduce-scatter). Sweep B folds the
         // averages — on every rank for the dense path, only on the owning
-        // eigendecomposition workers for the sharded path.
+        // eigendecomposition workers for the sharded path. LOCAL-OPT
+        // degenerates both sweeps: finalize and fold run on the single
+        // owner and there is no network task at all.
         let mut a_factor_ready = vec![0usize; n]; // task feeding eig_a on the A worker
         let mut g_factor_ready = vec![0usize; n]; // task feeding eig_g on the G worker
         let mut fin_ids = vec![Vec::new(); n];
         let mut comm_ids = vec![0usize; n];
         for &i in &order {
+            if local {
+                let id = graph.push(Task {
+                    layer: i,
+                    stage: PipelineStage::FactorAccumulate,
+                    resource: Resource::Compute(plan.layers[i].a_worker),
+                    duration: fa_fin[i],
+                    deps: Vec::new(),
+                });
+                fin_ids[i].push(id);
+                comm_ids[i] = id; // the fold depends directly on the finalize
+                chain[i] += fa_fin[i];
+                continue;
+            }
             for r in 0..world {
                 let id = graph.push(Task {
                     layer: i,
@@ -339,6 +378,20 @@ impl StepModel {
         for &i in &order {
             let asn = &plan.layers[i];
             let mut fold_dep = comm_ids[i];
+            if local {
+                let id = graph.push(Task {
+                    layer: i,
+                    stage: PipelineStage::FactorAccumulate,
+                    resource: Resource::Compute(asn.a_worker),
+                    duration: fa_fold[i],
+                    deps: vec![fold_dep],
+                });
+                a_factor_ready[i] = id;
+                g_factor_ready[i] = id;
+                chain[i] += fa_fold[i];
+                serial += fa_fin[i] + fa_fold[i];
+                continue;
+            }
             if sharded && ga[i] > 0.0 {
                 fold_dep = graph.push(Task {
                     layer: i,
@@ -695,7 +748,13 @@ mod tests {
     }
 
     fn sharded_opts(order: Option<&[usize]>) -> StepModelOptions<'_> {
-        StepModelOptions { elem_bytes: 4, triangular: false, sharded: true, gather: false, order }
+        StepModelOptions {
+            elem_bytes: 4,
+            triangular: false,
+            reduction: FactorReduction::ShardedReduceScatter,
+            gather: false,
+            order,
+        }
     }
 
     #[test]
@@ -715,6 +774,39 @@ mod tests {
             sharded.pipelined_seconds() <= dense.pipelined_seconds() + 1e-15,
             "sharded factor phase must not lengthen the modeled step"
         );
+    }
+
+    #[test]
+    fn local_model_has_no_factor_network_tasks_and_undercuts_dense() {
+        let d = dims();
+        // LOCAL-OPT runs on the one-worker grid.
+        let plan = plan_assignments(&d, 8, 1.0 / 8.0, AssignmentStrategy::ComputeLpt);
+        let cost = CollectiveCostModel::new(ClusterNetwork::ethernet_10g());
+        let rates = ComputeRates::default();
+        let dense =
+            StepModel::with_options(&d, &plan, &cost, &rates, StepModelOptions::dense(4, false));
+        let local = StepModel::with_options(
+            &d,
+            &plan,
+            &cost,
+            &rates,
+            StepModelOptions {
+                reduction: FactorReduction::LocalNone,
+                ..StepModelOptions::dense(4, false)
+            },
+        );
+        for stage in [
+            PipelineStage::FactorAllreduce,
+            PipelineStage::FactorReduce,
+            PipelineStage::FactorGather,
+        ] {
+            assert_eq!(local.graph().stage_total(stage), 0.0, "{stage:?} must be absent");
+        }
+        assert!(
+            local.serial_seconds() < dense.serial_seconds(),
+            "dropping the factor allreduce must shorten the modeled step"
+        );
+        assert!(local.pipelined_seconds() <= dense.pipelined_seconds() + 1e-15);
     }
 
     #[test]
@@ -785,11 +877,15 @@ mod tests {
         for world in [2, 4, 8] {
             for frac in [1.0 / world as f64, 0.5, 1.0] {
                 let plan = plan_assignments(&d, world, frac, AssignmentStrategy::ComputeLpt);
-                for sharded in [false, true] {
+                for reduction in [
+                    FactorReduction::DenseAllreduce,
+                    FactorReduction::ShardedReduceScatter,
+                    FactorReduction::LocalNone,
+                ] {
                     let opts = StepModelOptions {
                         elem_bytes: 4,
                         triangular: false,
-                        sharded,
+                        reduction,
                         gather: false,
                         order: None,
                     };
@@ -806,7 +902,7 @@ mod tests {
                     .pipelined_seconds();
                     assert!(
                         tuned <= fixed,
-                        "world={world} frac={frac} sharded={sharded}: {tuned} > {fixed}"
+                        "world={world} frac={frac} {reduction:?}: {tuned} > {fixed}"
                     );
                 }
             }
@@ -825,13 +921,7 @@ mod tests {
             &plan,
             &cost,
             &ComputeRates::default(),
-            StepModelOptions {
-                elem_bytes: 4,
-                triangular: false,
-                sharded: false,
-                gather: false,
-                order: Some(&bad),
-            },
+            StepModelOptions { order: Some(&bad), ..StepModelOptions::dense(4, false) },
         );
     }
 

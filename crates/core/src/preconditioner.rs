@@ -30,6 +30,7 @@ use crate::state::{
     factor_payload_len, pack_factor_payload, pack_factor_payload_scaled_into, quantize_slice,
     unpack_factor_payload, KfacLayerState, StagingRing,
 };
+use crate::strategy::{effective_worker_frac, FactorReduction, StrategyPlan};
 use crate::timing::{Stage, StageTimes};
 use crate::DistStrategy;
 
@@ -52,6 +53,11 @@ use crate::DistStrategy;
 pub struct Kfac {
     pub(crate) cfg: KfacConfig,
     pub(crate) plan: WorkPlan,
+    /// The resolved strategy plan: which factor-reduction mode, regather
+    /// policy, and per-stage comm participation this run uses. Computed
+    /// once here and consumed uniformly by all three executors and the
+    /// stage-graph builder — the single source of strategy truth.
+    pub(crate) strat: StrategyPlan,
     pub(crate) states: Vec<KfacLayerState>,
     pub(crate) rank: usize,
     pub(crate) world: usize,
@@ -105,15 +111,20 @@ impl Kfac {
             names.push(layer.layer_name().to_string());
         }
         assert!(!dims.is_empty(), "model exposes no K-FAC-preconditionable layers");
-        // Sharded factor reduction pays extra traffic for split-worker
-        // layers, so bias LPT ties toward co-location when it is on.
+        // An explicit strategy override (MemOpt / CommOpt / LocalOpt) pins
+        // the gradient-worker grid to its extreme; otherwise the configured
+        // fraction decides. Sharded factor reduction pays extra traffic for
+        // split-worker layers, so bias LPT ties toward co-location when it
+        // is on.
+        let frac = effective_worker_frac(cfg.strategy, cfg.grad_worker_frac, comm.world_size());
         let plan = plan_assignments_with(
             &dims,
             comm.world_size(),
-            cfg.grad_worker_frac,
+            frac,
             cfg.assignment,
             cfg.sharded_factors,
         );
+        let strat = StrategyPlan::resolve(&cfg, &plan);
         let states = dims
             .iter()
             .zip(&names)
@@ -133,13 +144,11 @@ impl Kfac {
                 &plan,
                 &cost,
                 &ComputeRates::default(),
-                StepModelOptions {
-                    elem_bytes: cfg.precision.bytes_per_element(),
-                    triangular: cfg.triangular_comm,
-                    sharded: cfg.sharded_factors,
-                    gather: !cfg.use_eigen,
-                    order: None,
-                },
+                StepModelOptions::from_plan(
+                    cfg.precision.bytes_per_element(),
+                    cfg.triangular_comm,
+                    &strat,
+                ),
             )
         } else {
             (0..dims.len()).collect()
@@ -164,6 +173,7 @@ impl Kfac {
         let kfac = Kfac {
             cfg,
             plan,
+            strat,
             states,
             rank: comm.rank(),
             world: comm.world_size(),
@@ -183,9 +193,17 @@ impl Kfac {
         kfac
     }
 
-    /// The distribution strategy implied by the configuration.
+    /// The distribution strategy in effect (an explicit
+    /// `KfacConfig::strategy`, or classified from the realized worker
+    /// count).
     pub fn strategy(&self) -> DistStrategy {
-        DistStrategy::from_worker_count(self.plan.workers_per_layer, self.world)
+        self.strat.strategy
+    }
+
+    /// The resolved strategy plan all executors consume (inspection /
+    /// tests).
+    pub fn strategy_plan(&self) -> &StrategyPlan {
+        &self.strat
     }
 
     /// The computed work plan (placement inspection / tests).
@@ -318,26 +336,30 @@ impl Kfac {
         let mut layers = model.kfac_layers();
         assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
 
-        if self.cfg.pipelined {
-            if factor_step {
-                if self.cfg.sharded_factors {
-                    self.update_factors_sharded_pipelined(&mut layers, comm);
-                } else {
-                    self.update_factors_pipelined(&mut layers, comm);
+        // The one strategy dispatch: every executor consumes the resolved
+        // `StrategyPlan`'s factor-reduction mode instead of re-deriving the
+        // strategy from config flags.
+        if factor_step {
+            match (self.strat.reduction, self.cfg.pipelined) {
+                (FactorReduction::LocalNone, _) => self.update_factors_local(&mut layers),
+                (FactorReduction::ShardedReduceScatter, true) => {
+                    self.update_factors_sharded_pipelined(&mut layers, comm)
                 }
+                (FactorReduction::ShardedReduceScatter, false) => {
+                    self.update_factors_sharded(&mut layers, comm)
+                }
+                (FactorReduction::DenseAllreduce, true) => {
+                    self.update_factors_pipelined(&mut layers, comm)
+                }
+                (FactorReduction::DenseAllreduce, false) => self.update_factors(&mut layers, comm),
             }
+        }
+        if self.cfg.pipelined {
             if inv_step {
                 self.update_decompositions_pipelined(comm);
             }
             self.precondition_and_scale_pipelined(&mut layers, comm, lr);
         } else {
-            if factor_step {
-                if self.cfg.sharded_factors {
-                    self.update_factors_sharded(&mut layers, comm);
-                } else {
-                    self.update_factors(&mut layers, comm);
-                }
-            }
             if inv_step {
                 self.update_decompositions(comm);
             }
@@ -392,6 +414,58 @@ impl Kfac {
             });
         }
         self.note_factor_residency();
+    }
+
+    /// Stage 1 (LOCAL-OPT / DP-KFAC): no factor collective at all. Each
+    /// layer's single owner finalizes and folds the statistics **its own
+    /// rank** captured; every other rank just drops its capture buffers.
+    /// The owner's payload still makes the pack/unpack quantization round
+    /// trip so that at world 1 (where the dense allreduce averages over one
+    /// rank, i.e. divides by 1.0 exactly) LOCAL-OPT is bitwise identical to
+    /// the dense serial reference at every precision.
+    ///
+    /// Rank determinism is unaffected: owners decompose local curvature,
+    /// but the preconditioned gradients still reach every rank through the
+    /// per-layer `GradComm` broadcast, so all ranks apply identical updates.
+    pub(crate) fn update_factors_local(&mut self, layers: &mut [&mut dyn kaisa_nn::KfacAble]) {
+        debug_assert!(self.strat.local_factors());
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                panic!(
+                    "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                    layer.layer_name()
+                )
+            });
+            self.fold_local_stats(i, stats);
+        }
+        self.note_factor_residency();
+    }
+
+    /// LOCAL-OPT's per-layer fold: the owner finalizes and folds the
+    /// statistics its own rank captured; every other rank is a no-op (it
+    /// already dropped its capture via `take_stats`). Shared by the serial
+    /// executor and the runtime's `FactorLocalFold` task.
+    pub(crate) fn fold_local_stats(&mut self, i: usize, stats: kaisa_nn::KfacStats) {
+        // LOCAL-OPT runs on the one-worker grid, so owner == a_worker ==
+        // g_worker.
+        if self.rank != self.plan.layers[i].a_worker {
+            return;
+        }
+        let precision = self.cfg.precision;
+        let decay = self.cfg.factor_decay;
+        let triangular = self.cfg.triangular_comm;
+        self.times.time_layer(i, Stage::FactorCompute, || {
+            let inv = 1.0 / stats.batches.max(1) as f32;
+            let mut a = stats.a_stat;
+            a.scale(inv);
+            let mut g = stats.g_stat;
+            g.scale(inv);
+            let (a_dim, g_dim) = (a.rows(), g.rows());
+            let (mut buf, split) = pack_factor_payload(&a, &g, triangular, precision);
+            let (a_new, g_new) =
+                unpack_factor_payload(&mut buf, split, a_dim, g_dim, triangular, precision);
+            self.states[i].update_factors(a_new, g_new, decay);
+        });
     }
 
     /// Stage 1 (serial executor, sharded): scale-and-pack each layer's
@@ -476,11 +550,10 @@ impl Kfac {
     }
 
     /// True when the sharded path must regather the averaged payload within
-    /// the layer's eigendecomposition worker group: the direct-inverse
-    /// fallback computes both inverses on the A worker, which therefore needs
-    /// the `G` section its reduce-scatter shard does not carry.
+    /// the layer's eigendecomposition worker group (delegates to the
+    /// resolved [`StrategyPlan`]'s regather policy).
     pub(crate) fn needs_factor_gather(&self, asn: &LayerAssignment) -> bool {
-        !self.cfg.use_eigen && asn.a_worker != asn.g_worker
+        self.strat.needs_regather(asn)
     }
 
     /// Fold a rank's owned shard sections into its shard-resident packed

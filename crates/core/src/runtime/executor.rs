@@ -31,13 +31,21 @@ use crate::state::{
     factor_payload_len, pack_factor_payload, pack_factor_payload_scaled_into,
     unpack_factor_payload, KfacLayerState,
 };
+use crate::strategy::FactorReduction;
 use crate::timing::Stage;
 
 /// One schedulable unit of a K-FAC step, tagged with its layer index.
 enum TaskKind {
-    /// Finalize captured statistics, pack, and begin the factor allreduce
-    /// (dense) or reduce-scatter (sharded). Gated on the world group.
-    FactorBegin(usize),
+    /// Finalize captured statistics, pack, and begin the dense factor
+    /// allreduce. Gated on the world group.
+    FactorDenseBegin(usize),
+    /// Finalize captured statistics, scale-and-pack into staging, and begin
+    /// the sharded reduce-scatter. Gated on the world group.
+    FactorShardBegin(usize),
+    /// LOCAL-OPT: finalize and fold this rank's **local** statistics on the
+    /// layer's owner — no collective, so no complete-side task exists and
+    /// the depth-D window has nothing to defer. Ungated.
+    FactorLocalFold(usize),
     /// Complete the dense allreduce, unpack, and fold the averages.
     FactorDenseComplete(usize),
     /// Complete the reduce-scatter shard; fold it, or stash it for the
@@ -196,65 +204,98 @@ impl Kfac {
         );
         let mut kinds: Vec<TaskKind> = Vec::new();
 
-        // Phase 1: factor update.
+        // Phase 1: factor update. The resolved `StrategyPlan` picks the
+        // task shapes here, at plan time — `run_task` bodies carry no
+        // strategy conditionals.
         let mut fold_task: Vec<Option<usize>> = vec![None; n];
         if factor_step {
-            let world_group: Vec<usize> = (0..self.world).collect();
-            let wg = sched.add_group(&world_group);
-            let mut begin_id = vec![0usize; n];
-            for &i in &order {
-                begin_id[i] = push(
-                    &mut sched,
-                    &mut kinds,
-                    TaskKind::FactorBegin(i),
-                    format!("factor-begin L{i}"),
-                    Some(wg),
-                    &[],
-                );
-            }
-            if self.cfg.sharded_factors {
-                for &i in &order {
-                    fold_task[i] = Some(push(
-                        &mut sched,
-                        &mut kinds,
-                        TaskKind::FactorShardComplete(i),
-                        format!("factor-shard-complete L{i}"),
-                        None,
-                        &[begin_id[i]],
-                    ));
-                }
-                for &i in &order {
-                    let asn = self.plan.layers[i].clone();
-                    if self.needs_factor_gather(&asn) && asn.eig_worker_group().contains(&rank) {
-                        let eg = sched.add_group(&asn.eig_worker_group());
-                        let gb = push(
-                            &mut sched,
-                            &mut kinds,
-                            TaskKind::FactorGatherBegin(i),
-                            format!("factor-gather-begin L{i}"),
-                            Some(eg),
-                            &[fold_task[i].expect("shard complete planned")],
-                        );
+            match self.strat.reduction {
+                FactorReduction::LocalNone => {
+                    // No collective: the ungated local fold runs entirely in
+                    // `step_begin` and directly feeds the eigensolves.
+                    for &i in &order {
                         fold_task[i] = Some(push(
                             &mut sched,
                             &mut kinds,
-                            TaskKind::FactorGatherComplete(i),
-                            format!("factor-gather-complete L{i}"),
+                            TaskKind::FactorLocalFold(i),
+                            format!("factor-local-fold L{i}"),
                             None,
-                            &[gb],
+                            &[],
                         ));
                     }
                 }
-            } else {
-                for &i in &order {
-                    fold_task[i] = Some(push(
-                        &mut sched,
-                        &mut kinds,
-                        TaskKind::FactorDenseComplete(i),
-                        format!("factor-complete L{i}"),
-                        None,
-                        &[begin_id[i]],
-                    ));
+                FactorReduction::ShardedReduceScatter => {
+                    let world_group: Vec<usize> = (0..self.world).collect();
+                    let wg = sched.add_group(&world_group);
+                    let mut begin_id = vec![0usize; n];
+                    for &i in &order {
+                        begin_id[i] = push(
+                            &mut sched,
+                            &mut kinds,
+                            TaskKind::FactorShardBegin(i),
+                            format!("factor-begin L{i}"),
+                            Some(wg),
+                            &[],
+                        );
+                    }
+                    for &i in &order {
+                        fold_task[i] = Some(push(
+                            &mut sched,
+                            &mut kinds,
+                            TaskKind::FactorShardComplete(i),
+                            format!("factor-shard-complete L{i}"),
+                            None,
+                            &[begin_id[i]],
+                        ));
+                    }
+                    for &i in &order {
+                        let asn = self.plan.layers[i].clone();
+                        if self.strat.needs_regather(&asn) && asn.eig_worker_group().contains(&rank)
+                        {
+                            let eg = sched.add_group(&asn.eig_worker_group());
+                            let gb = push(
+                                &mut sched,
+                                &mut kinds,
+                                TaskKind::FactorGatherBegin(i),
+                                format!("factor-gather-begin L{i}"),
+                                Some(eg),
+                                &[fold_task[i].expect("shard complete planned")],
+                            );
+                            fold_task[i] = Some(push(
+                                &mut sched,
+                                &mut kinds,
+                                TaskKind::FactorGatherComplete(i),
+                                format!("factor-gather-complete L{i}"),
+                                None,
+                                &[gb],
+                            ));
+                        }
+                    }
+                }
+                FactorReduction::DenseAllreduce => {
+                    let world_group: Vec<usize> = (0..self.world).collect();
+                    let wg = sched.add_group(&world_group);
+                    let mut begin_id = vec![0usize; n];
+                    for &i in &order {
+                        begin_id[i] = push(
+                            &mut sched,
+                            &mut kinds,
+                            TaskKind::FactorDenseBegin(i),
+                            format!("factor-begin L{i}"),
+                            Some(wg),
+                            &[],
+                        );
+                    }
+                    for &i in &order {
+                        fold_task[i] = Some(push(
+                            &mut sched,
+                            &mut kinds,
+                            TaskKind::FactorDenseComplete(i),
+                            format!("factor-complete L{i}"),
+                            None,
+                            &[begin_id[i]],
+                        ));
+                    }
                 }
             }
         }
@@ -374,7 +415,12 @@ impl Kfac {
         push(&mut sched, &mut kinds, TaskKind::Scale, "scale".to_string(), None, &grad_last);
 
         for (id, kind) in kinds.iter().enumerate() {
-            if !matches!(kind, TaskKind::FactorBegin(_)) {
+            if !matches!(
+                kind,
+                TaskKind::FactorDenseBegin(_)
+                    | TaskKind::FactorShardBegin(_)
+                    | TaskKind::FactorLocalFold(_)
+            ) {
                 sched.hold(id);
             }
         }
@@ -391,7 +437,7 @@ impl Kfac {
                     TaskKind::FactorDenseComplete(_) | TaskKind::FactorGatherComplete(_) => true,
                     TaskKind::FactorShardComplete(i) => {
                         let asn = &self.plan.layers[i];
-                        !(self.needs_factor_gather(asn) && asn.eig_worker_group().contains(&rank))
+                        !(self.strat.needs_regather(asn) && asn.eig_worker_group().contains(&rank))
                     }
                     _ => false,
                 };
@@ -543,7 +589,7 @@ impl Kfac {
         let precision = self.cfg.precision;
         let triangular = self.cfg.triangular_comm;
         match *kind {
-            TaskKind::FactorBegin(i) => {
+            TaskKind::FactorShardBegin(i) => {
                 let layer = &mut layers[i];
                 let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
                     panic!(
@@ -552,60 +598,79 @@ impl Kfac {
                     )
                 });
                 let world_group: Vec<usize> = (0..self.world).collect();
-                if self.cfg.sharded_factors {
-                    // Scale-and-pack straight into the reusable staging
-                    // buffer; no scaled square statistics materialize.
-                    let asn = self.plan.layers[i].clone();
-                    let mut staging = self.staging.take(ctx.slot, i);
-                    let split = self.times.time_layer(i, Stage::FactorCompute, || {
-                        let inv = 1.0 / stats.batches.max(1) as f32;
-                        pack_factor_payload_scaled_into(
-                            &mut staging,
-                            &stats.a_stat,
-                            &stats.g_stat,
-                            inv,
-                            triangular,
-                            precision,
-                        )
-                    });
-                    let total = staging.len();
-                    let entry = self.times.time_layer(i, Stage::FactorComm, || {
-                        let shards = factor_shards(&asn, split, total);
-                        let pending = comm.begin_reduce_scatter(
-                            &staging,
-                            ReduceOp::Avg,
-                            &world_group,
-                            &shards,
-                            CommTag::FactorReduce,
-                        );
-                        FactorInFlight { pending, buf: Vec::new(), split, total }
-                    });
-                    // The begin copies the payload, so staging is reusable.
-                    self.staging.put(ctx.slot, i, staging);
-                    ctx.factor[i] = Some(entry);
-                } else {
-                    let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
-                        let inv = 1.0 / stats.batches.max(1) as f32;
-                        let mut a = stats.a_stat;
-                        a.scale(inv);
-                        let mut g = stats.g_stat;
-                        g.scale(inv);
-                        (a, g)
-                    });
-                    let entry = self.times.time_layer(i, Stage::FactorComm, || {
-                        let (buf, split) =
-                            pack_factor_payload(&a_new, &g_new, triangular, precision);
-                        let total = buf.len();
-                        let pending = comm.begin_allreduce(
-                            &buf,
-                            ReduceOp::Avg,
-                            &world_group,
-                            CommTag::FactorComm,
-                        );
-                        FactorInFlight { pending, buf, split, total }
-                    });
-                    ctx.factor[i] = Some(entry);
-                }
+                // Scale-and-pack straight into the reusable staging
+                // buffer; no scaled square statistics materialize.
+                let asn = self.plan.layers[i].clone();
+                let mut staging = self.staging.take(ctx.slot, i);
+                let split = self.times.time_layer(i, Stage::FactorCompute, || {
+                    let inv = 1.0 / stats.batches.max(1) as f32;
+                    pack_factor_payload_scaled_into(
+                        &mut staging,
+                        &stats.a_stat,
+                        &stats.g_stat,
+                        inv,
+                        triangular,
+                        precision,
+                    )
+                });
+                let total = staging.len();
+                let entry = self.times.time_layer(i, Stage::FactorComm, || {
+                    let shards = factor_shards(&asn, split, total);
+                    let pending = comm.begin_reduce_scatter(
+                        &staging,
+                        ReduceOp::Avg,
+                        &world_group,
+                        &shards,
+                        CommTag::FactorReduce,
+                    );
+                    FactorInFlight { pending, buf: Vec::new(), split, total }
+                });
+                // The begin copies the payload, so staging is reusable.
+                self.staging.put(ctx.slot, i, staging);
+                ctx.factor[i] = Some(entry);
+                TaskPoll::Done
+            }
+            TaskKind::FactorDenseBegin(i) => {
+                let layer = &mut layers[i];
+                let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                    panic!(
+                        "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                        layer.layer_name()
+                    )
+                });
+                let world_group: Vec<usize> = (0..self.world).collect();
+                let (a_new, g_new) = self.times.time_layer(i, Stage::FactorCompute, || {
+                    let inv = 1.0 / stats.batches.max(1) as f32;
+                    let mut a = stats.a_stat;
+                    a.scale(inv);
+                    let mut g = stats.g_stat;
+                    g.scale(inv);
+                    (a, g)
+                });
+                let entry = self.times.time_layer(i, Stage::FactorComm, || {
+                    let (buf, split) = pack_factor_payload(&a_new, &g_new, triangular, precision);
+                    let total = buf.len();
+                    let pending = comm.begin_allreduce(
+                        &buf,
+                        ReduceOp::Avg,
+                        &world_group,
+                        CommTag::FactorComm,
+                    );
+                    FactorInFlight { pending, buf, split, total }
+                });
+                ctx.factor[i] = Some(entry);
+                TaskPoll::Done
+            }
+            TaskKind::FactorLocalFold(i) => {
+                let layer = &mut layers[i];
+                let stats = layer.capture_mut().take_stats().unwrap_or_else(|| {
+                    panic!(
+                        "layer {}: no captured statistics — call Kfac::prepare() before the forward pass",
+                        layer.layer_name()
+                    )
+                });
+                self.fold_local_stats(i, stats);
+                self.note_factor_residency();
                 TaskPoll::Done
             }
             TaskKind::FactorDenseComplete(_)

@@ -41,6 +41,10 @@ pub struct SimParams {
     pub optimizer_state_bytes: usize,
     /// Whether K-FAC runs at all (false = the SGD/LAMB baselines).
     pub kfac_enabled: bool,
+    /// DP-KFAC / LOCAL-OPT: factors fold from rank-local statistics, so the
+    /// factor allreduce disappears entirely. Pair with
+    /// `grad_worker_frac = 1/world` (the one-owner grid).
+    pub local_factors: bool,
 }
 
 impl SimParams {
@@ -58,6 +62,7 @@ impl SimParams {
             half_training: false,
             optimizer_state_bytes: 4,
             kfac_enabled: false,
+            local_factors: false,
         }
     }
 
@@ -67,6 +72,14 @@ impl SimParams {
         self.grad_worker_frac = frac;
         self.factor_update_freq = f_freq;
         self.inv_update_freq = k_freq;
+        self
+    }
+
+    /// Switch the K-FAC run to DP-KFAC local preconditioning (builder
+    /// style): one owner per layer, no factor allreduce.
+    pub fn with_local_factors(mut self) -> Self {
+        self.local_factors = true;
+        self.grad_worker_frac = 1.0 / self.cluster.world as f64;
         self
     }
 
@@ -287,9 +300,13 @@ impl Simulator {
             .sum();
         out.factor_compute = stat_flops / gpu.gemm_flops(p.half_training) / f_freq;
 
-        // Factor allreduce.
-        let factor_bytes = p.model.all_factor_bytes(fb);
-        out.factor_comm = self.cost.allreduce(factor_bytes, world) / f_freq;
+        // Factor allreduce — absent entirely under DP-KFAC local folds.
+        out.factor_comm = if p.local_factors {
+            0.0
+        } else {
+            let factor_bytes = p.model.all_factor_bytes(fb);
+            self.cost.allreduce(factor_bytes, world) / f_freq
+        };
 
         // Eigendecomposition: the realized LPT makespan.
         let mut eig_loads = vec![0.0f64; world];
@@ -491,6 +508,25 @@ mod tests {
         let deep = b.runtime_total_with_depth(32);
         assert!(deep <= b.runtime_total_with_depth(6) + 1e-15);
         assert!(deep >= b.forward_backward + b.grad_allreduce + b.scale);
+    }
+
+    #[test]
+    fn local_factors_drop_the_factor_allreduce_and_nothing_else() {
+        let world = 64;
+        let mem_opt = rn50_sim(1.0 / world as f64).iteration_breakdown();
+        let local = Simulator::new(
+            SimParams::baseline(ModelInventory::resnet50(), ClusterSpec::frontera(world), 32)
+                .with_kfac(1.0 / world as f64, 50, 500)
+                .with_local_factors(),
+        )
+        .iteration_breakdown();
+        assert_eq!(local.factor_comm, 0.0, "DP-KFAC never allreduces factors");
+        assert!(mem_opt.factor_comm > 0.0);
+        // Same one-owner placement: every other stage is untouched.
+        assert_eq!(local.eig_compute, mem_opt.eig_compute);
+        assert_eq!(local.precondition, mem_opt.precondition);
+        assert_eq!(local.grad_bcast, mem_opt.grad_bcast);
+        assert!(local.total() < mem_opt.total());
     }
 
     #[test]

@@ -3,13 +3,19 @@
 //! for the same model, data, and hyperparameters they must produce the same
 //! preconditioned gradients and the same trained weights (paper Section 3.1:
 //! "COMM-OPT and MEM-OPT are special cases of HYBRID-OPT").
+//!
+//! LOCAL-OPT (DP-KFAC) deliberately breaks that equivalence at world > 1 —
+//! each owner folds only its own rank's statistics — so its contract is
+//! different: zero factor-collective traffic, bitwise determinism across
+//! ranks and executors, and exact agreement with the dense reference in the
+//! degenerate single-rank world where "local" and "global" coincide.
 
-use kaisa::comm::{Communicator, ThreadComm};
-use kaisa::core::{DistStrategy, Kfac, KfacConfig};
+use kaisa::comm::{ClusterNetwork, CommTag, Communicator, MeterSnapshot, ThreadComm};
+use kaisa::core::{auto_strategy, DistStrategy, Kfac, KfacConfig, KfacConfigBuilder};
 use kaisa::data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa::nn::{models::Mlp, Model};
 use kaisa::optim::{Optimizer, Sgd};
-use kaisa::tensor::Rng;
+use kaisa::tensor::{Precision, Rng};
 
 const WORLD: usize = 4;
 
@@ -163,4 +169,213 @@ fn hybrid_comm_volume_between_extremes() {
 fn max_diff(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Train with an arbitrary config (and optional gradient accumulation) on
+/// `world` ranks; return per rank the final params, last preconditioned
+/// grads, and the rank's comm-meter snapshot.
+fn train_cfg(
+    world: usize,
+    steps: usize,
+    seed: u64,
+    grad_accum: usize,
+    build: impl Fn(KfacConfigBuilder) -> KfacConfigBuilder + Sync,
+) -> Vec<(Vec<f32>, Vec<f32>, MeterSnapshot)> {
+    let dataset = GaussianBlobs::generate(128, 8, 4, 0.4, seed);
+    ThreadComm::run(world, |comm| {
+        let mut model = Mlp::new(&[8, 12, 4], &mut Rng::seed_from_u64(seed + 1));
+        let mut opt = Sgd::with_momentum(0.9);
+        let cfg = build(KfacConfig::builder().factor_update_freq(2).inv_update_freq(4)).build();
+        let mut kfac = Kfac::new(cfg, &mut model, comm);
+        let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, seed);
+        let mut last_grads = Vec::new();
+        for step in 0..steps {
+            let epoch = step / sampler.batches_per_epoch();
+            let batches = sampler.epoch_batches(epoch);
+            let indices = &batches[step % sampler.batches_per_epoch()];
+            kfac.prepare(&mut model);
+            model.zero_grad();
+            let micro = indices.len().div_ceil(grad_accum).max(1);
+            for chunk in indices.chunks(micro) {
+                let (x, y) = dataset.batch(chunk);
+                let _ = model.forward_backward(&x, &y);
+            }
+            kaisa::trainer::allreduce_gradients(&mut model, comm, grad_accum);
+            kfac.step(&mut model, comm, 0.1);
+            last_grads = model.grads_flat();
+            opt.step_model(&mut model, 0.1);
+        }
+        kfac.flush(comm);
+        comm.barrier();
+        (model.params_flat(), last_grads, comm.meter_snapshot())
+    })
+}
+
+#[test]
+fn local_opt_world1_is_bitwise_identical_to_dense_serial() {
+    // At world 1 a rank's "local" statistics ARE the global statistics, so
+    // DP-KFAC must coincide bit-for-bit with the dense serial reference —
+    // the owner-side fold replays the same pack/unpack quantization the
+    // dense allreduce applies, in every precision and payload layout.
+    for (precision, triangular) in
+        [(Precision::Fp32, false), (Precision::Fp16, false), (Precision::Fp16, true)]
+    {
+        let dense = train_cfg(1, 10, 131, 1, |b| {
+            b.grad_worker_frac(1.0).precision(precision).triangular_comm(triangular)
+        });
+        let local = train_cfg(1, 10, 131, 1, |b| {
+            b.strategy(DistStrategy::LocalOpt).precision(precision).triangular_comm(triangular)
+        });
+        let ctx = format!("world=1 precision={precision:?} triangular={triangular}");
+        assert_eq!(bits(&dense[0].0), bits(&local[0].0), "{ctx}: params differ");
+        assert_eq!(bits(&dense[0].1), bits(&local[0].1), "{ctx}: grads differ");
+    }
+}
+
+#[test]
+fn local_opt_is_deterministic_across_executors_ranks_and_worlds() {
+    // The fourth strategy through the full executor matrix: serial,
+    // pipelined, and task-runtime (at depths 1–3) must train bit-identically
+    // at every world, and all ranks must hold the same weights — DP-KFAC
+    // changes *whose* statistics feed the preconditioner, not the
+    // data-parallel contract.
+    for world in [1usize, 2, 4] {
+        let serial =
+            train_cfg(world, 10, 137, 1, |b| b.strategy(DistStrategy::LocalOpt).pipelined(false));
+        let pipelined =
+            train_cfg(world, 10, 137, 1, |b| b.strategy(DistStrategy::LocalOpt).pipelined(true));
+        let mut variants = vec![("pipelined".to_string(), pipelined)];
+        for depth in [1usize, 2, 3] {
+            let runtime = train_cfg(world, 10, 137, 1, |b| {
+                b.strategy(DistStrategy::LocalOpt).async_runtime(true).cross_iter_depth(depth)
+            });
+            variants.push((format!("runtime depth={depth}"), runtime));
+        }
+        for (name, candidate) in &variants {
+            for (rank, (s, c)) in serial.iter().zip(candidate).enumerate() {
+                assert_eq!(
+                    bits(&s.0),
+                    bits(&c.0),
+                    "world={world} {name}: rank {rank} params differ from serial"
+                );
+                assert_eq!(
+                    bits(&s.1),
+                    bits(&c.1),
+                    "world={world} {name}: rank {rank} grads differ from serial"
+                );
+            }
+        }
+        // Ranks agree bit-for-bit within the strategy.
+        for (rank, r) in serial.iter().enumerate().skip(1) {
+            assert_eq!(
+                bits(&serial[0].0),
+                bits(&r.0),
+                "world={world}: rank {rank} diverged from rank 0"
+            );
+        }
+    }
+}
+
+#[test]
+fn local_opt_survives_fp16_grad_accum_and_deep_windows() {
+    // The layouts that most reshape the owner-side fold: half-precision
+    // triangular payloads and accumulated micro-batch statistics, run
+    // through the depth-3 window. The runtime must still match serial.
+    for (precision, triangular, grad_accum) in
+        [(Precision::Fp16, true, 1), (Precision::Fp16, false, 2), (Precision::Fp32, true, 2)]
+    {
+        let serial = train_cfg(4, 8, 139, grad_accum, move |b| {
+            b.strategy(DistStrategy::LocalOpt)
+                .precision(precision)
+                .triangular_comm(triangular)
+                .pipelined(false)
+        });
+        let deep = train_cfg(4, 8, 139, grad_accum, move |b| {
+            b.strategy(DistStrategy::LocalOpt)
+                .precision(precision)
+                .triangular_comm(triangular)
+                .async_runtime(true)
+                .cross_iter_depth(3)
+        });
+        let ctx =
+            format!("precision={precision:?} triangular={triangular} grad_accum={grad_accum}");
+        for (rank, (s, d)) in serial.iter().zip(&deep).enumerate() {
+            assert_eq!(bits(&s.0), bits(&d.0), "{ctx}: rank {rank} params differ");
+            assert_eq!(bits(&s.1), bits(&d.1), "{ctx}: rank {rank} grads differ");
+        }
+    }
+}
+
+#[test]
+fn local_opt_moves_zero_factor_collective_bytes_at_world_8() {
+    // The acceptance gate: DP-KFAC's whole point is deleting the factor
+    // collectives. At world 8, every rank's meter must show exactly zero
+    // bytes under all three factor tags — dense allreduce, reduce-scatter,
+    // and regather — in every executor, while the rest of the step
+    // (eigendecomposition broadcast, gradient broadcast, DDP) still flows.
+    type Exec = (&'static str, fn(KfacConfigBuilder) -> KfacConfigBuilder);
+    let execs: [Exec; 3] = [
+        ("serial", |b| b.pipelined(false)),
+        ("pipelined", |b| b.pipelined(true)),
+        ("runtime", |b| b.async_runtime(true).cross_iter_depth(2)),
+    ];
+    for (name, exec) in execs {
+        let results = train_cfg(8, 10, 149, 1, |b| exec(b.strategy(DistStrategy::LocalOpt)));
+        for (rank, (_, _, meter)) in results.iter().enumerate() {
+            assert_eq!(
+                meter.tag_bytes(CommTag::FactorComm),
+                0,
+                "{name} rank {rank}: LOCAL-OPT must not run the dense factor allreduce"
+            );
+            assert_eq!(
+                meter.tag_bytes(CommTag::FactorReduce),
+                0,
+                "{name} rank {rank}: LOCAL-OPT must not reduce-scatter factors"
+            );
+            assert_eq!(
+                meter.tag_bytes(CommTag::FactorGather),
+                0,
+                "{name} rank {rank}: LOCAL-OPT must not regather factors"
+            );
+            // One owner per layer means no eigendecomposition sharing —
+            // like MEM-OPT, the owner preconditions in place and only the
+            // result is broadcast.
+            assert_eq!(
+                meter.tag_bytes(CommTag::EigComm),
+                0,
+                "{name} rank {rank}: single-owner layers have no eig broadcast"
+            );
+            assert!(
+                meter.tag_bytes(CommTag::GradComm) > 0,
+                "{name} rank {rank}: preconditioned-gradient broadcast should still flow"
+            );
+            assert!(meter.tag_bytes(CommTag::Ddp) > 0, "{name} rank {rank}: DDP missing");
+        }
+    }
+}
+
+#[test]
+fn auto_strategy_agrees_on_every_rank() {
+    // The dispatcher is a pure function of (dims, world, network) — the
+    // same all-ranks-agree contract as depth(auto): every rank must pick
+    // the same strategy without communicating, or ranks would plan
+    // different collectives and deadlock.
+    let dims: Vec<(usize, usize)> = vec![(576, 64), (1152, 128), (2304, 256), (512, 10)];
+    for network in [ClusterNetwork::ethernet_10g(), ClusterNetwork::infiniband_edr()] {
+        let picks = ThreadComm::run(WORLD, |comm| {
+            let pick = auto_strategy(&dims, comm.world_size(), network);
+            comm.barrier();
+            // Purity: a second evaluation must return the same answer.
+            assert_eq!(pick, auto_strategy(&dims, comm.world_size(), network));
+            pick
+        });
+        assert!(picks.iter().all(|&p| p == picks[0]), "ranks disagree on auto strategy: {picks:?}");
+        // The dispatcher only ever returns a distribution-equivalent
+        // strategy; DP-KFAC changes the algorithm and needs explicit opt-in.
+        assert_ne!(picks[0], DistStrategy::LocalOpt);
+    }
 }
