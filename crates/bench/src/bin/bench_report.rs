@@ -7,11 +7,12 @@
 //! cargo run --release -p kaisa-bench --bin bench_report -- --quick # CI
 //! cargo run --release -p kaisa-bench --bin bench_report -- --out path.json
 //! cargo run --release -p kaisa-bench --bin bench_report -- --strategy local-opt
+//! cargo run --release -p kaisa-bench --bin bench_report -- --comm-backend mutex
 //! ```
 
 use std::time::Instant;
 
-use kaisa_comm::{ClusterNetwork, Communicator};
+use kaisa_comm::{ClusterNetwork, CommOptions, Communicator, ThreadCommBackend};
 use kaisa_core::{modeled_depth_makespans, DistStrategy, Kfac, KfacConfig, MemoryCategory};
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
@@ -27,6 +28,10 @@ struct Scale {
     /// Explicit `--strategy` override; `None` keeps the default
     /// HYBRID-OPT configuration (`grad_worker_frac = 0.5`).
     strategy: Option<DistStrategy>,
+    /// Communicator backend the world runs on (`--comm-backend`, or the
+    /// `KAISA_COMM_BACKEND` default). Recorded per row so archived runs
+    /// stay comparable across the ring/mutex engines.
+    comm_backend: ThreadCommBackend,
 }
 
 struct RunStats {
@@ -52,7 +57,8 @@ fn run(scale: &Scale, pipelined: bool, runtime: bool, depth: usize) -> RunStats 
     let world = scale.world;
     let start = Instant::now();
     let strategy = scale.strategy;
-    let mut results = kaisa_comm::ThreadComm::run(world, |comm| {
+    let opts = CommOptions { backend: scale.comm_backend, ..CommOptions::default() };
+    let mut results = kaisa_comm::ThreadComm::run_with(world, opts, |comm| {
         let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
         let mut builder = KfacConfig::builder()
             .grad_worker_frac(0.5)
@@ -137,18 +143,29 @@ fn main() {
             .parse()
             .unwrap_or_else(|e| panic!("{e}"))
     });
+    let comm_backend: ThreadCommBackend = args
+        .iter()
+        .position(|a| a == "--comm-backend")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--comm-backend needs a value"))
+                .parse()
+                .unwrap_or_else(|e| panic!("{e}"))
+        })
+        .unwrap_or_else(ThreadCommBackend::from_env);
     let scale = if quick {
-        Scale { world: 4, epochs: 1, samples: 256, quick, strategy }
+        Scale { world: 4, epochs: 1, samples: 256, quick, strategy, comm_backend }
     } else {
-        Scale { world: 8, epochs: 3, samples: 512, quick, strategy }
+        Scale { world: 8, epochs: 3, samples: 512, quick, strategy, comm_backend }
     };
 
     eprintln!(
-        "bench_report: world={} epochs={} samples={} strategy={} ({})",
+        "bench_report: world={} epochs={} samples={} strategy={} comm={} ({})",
         scale.world,
         scale.epochs,
         scale.samples,
         scale.strategy.map(|s| s.name()).unwrap_or("default"),
+        scale.comm_backend,
         if quick { "quick" } else { "full" }
     );
 
@@ -192,12 +209,14 @@ fn main() {
         );
         depth_entries.push(format!(
             concat!(
-                "    {{\"depth\": {}, \"strategy\": \"{}\", \"wall_ms_per_step\": {:.6}, ",
+                "    {{\"depth\": {}, \"strategy\": \"{}\", \"comm_backend\": \"{}\", ",
+                "\"wall_ms_per_step\": {:.6}, ",
                 "\"kfac_ms_per_step\": {:.6}, \"modeled_amortized_ms\": {:.6}, ",
                 "\"peak_memory_bytes\": {}, \"peak_held_window_bytes\": {}}}"
             ),
             depth,
             json_escape(stats.strategy),
+            scale.comm_backend,
             wall_ms,
             kfac_ms,
             amortized * 1e3,
@@ -214,22 +233,26 @@ fn main() {
             "  \"benchmark\": \"kaisa-runtime\",\n",
             "  \"quick\": {},\n",
             "  \"world\": {},\n",
+            "  \"comm_backend\": \"{}\",\n",
             "  \"factor_update_freq\": 5,\n",
             "  \"network_model\": \"10GbE\",\n",
             "  \"executors\": {{\n",
-            "    \"serial\": {{\"strategy\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
-            "    \"pipelined\": {{\"strategy\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
+            "    \"serial\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
+            "    \"pipelined\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
             "  }},\n",
             "  \"runtime_depths\": [\n{}\n  ]\n",
             "}}\n"
         ),
         scale.quick,
         scale.world,
+        scale.comm_backend,
         json_escape(serial.strategy),
+        scale.comm_backend,
         serial_wall,
         serial_kfac,
         serial.peak_memory_bytes,
         json_escape(pipelined.strategy),
+        scale.comm_backend,
         pipelined_wall,
         pipelined_kfac,
         pipelined.peak_memory_bytes,

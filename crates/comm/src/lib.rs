@@ -26,12 +26,19 @@
 //! assert_eq!(outputs, vec![6.0; 4]); // 0+1+2+3 on every rank
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SPSC ring internals (`spsc`) and the
+// `sched_setaffinity` FFI shim (`affinity`) carry targeted
+// `#[allow(unsafe_code)]` with safety comments; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 mod cost_model;
+mod group;
 mod local;
 mod meter;
+mod ring_comm;
+pub mod spsc;
 mod thread_comm;
 
 pub use cost_model::{ClusterNetwork, CollectiveAlgorithm, CollectiveCostModel};
@@ -39,11 +46,97 @@ pub use local::LocalComm;
 pub use meter::{CommEvent, CommOp, CommTag, Meter, MeterSnapshot};
 pub use thread_comm::ThreadComm;
 
+use group::GroupId;
+
+/// Which engine a [`ThreadComm`] world runs its collectives on.
+///
+/// Both engines implement identical semantics (deterministic rank-ordered
+/// reduction, MPI matching order, non-blocking `begin_*`/`complete`) and
+/// meter identical traffic; they differ only in how payloads move between
+/// rank threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadCommBackend {
+    /// The seed engine: one mutex-guarded rendezvous slot table plus a
+    /// condvar. Kept as an A/B baseline and debug escape hatch — every
+    /// collective serializes on the slot lock.
+    Mutex,
+    /// Lock-free engine: one cache-line-padded SPSC ring per ordered rank
+    /// pair with a spin-then-park progress loop. The hot path takes no
+    /// lock. This is the default.
+    #[default]
+    Ring,
+}
+
+impl ThreadCommBackend {
+    /// Resolve the backend from `KAISA_COMM_BACKEND` (`ring` or `mutex`,
+    /// case-insensitive); unset or unrecognized values give the default
+    /// ([`ThreadCommBackend::Ring`]).
+    pub fn from_env() -> Self {
+        match std::env::var("KAISA_COMM_BACKEND") {
+            Ok(v) => v.parse().unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+}
+
+impl std::str::FromStr for ThreadCommBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mutex" => Ok(ThreadCommBackend::Mutex),
+            "ring" => Ok(ThreadCommBackend::Ring),
+            other => Err(format!("unknown comm backend {other:?} (expected ring|mutex)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadCommBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ThreadCommBackend::Mutex => "mutex",
+            ThreadCommBackend::Ring => "ring",
+        })
+    }
+}
+
+/// Construction options for a [`ThreadComm`] world
+/// ([`ThreadComm::world_with`] / [`ThreadComm::run_with`]).
+#[derive(Debug, Clone)]
+pub struct CommOptions {
+    /// The α–β collective cost model feeding the simulated clock.
+    pub cost: CollectiveCostModel,
+    /// Which collective engine to run on.
+    pub backend: ThreadCommBackend,
+    /// Pin rank `r` to core `r % available_parallelism` at spawn
+    /// ([`ThreadComm::run_with`] only). Defaults to the `KAISA_PIN_CORES`
+    /// environment variable (`1`/`true`); off otherwise — pinning hurts on
+    /// oversubscribed machines.
+    pub pin_cores: bool,
+    /// Capacity (messages) of each rank-pair SPSC ring; rounded up to a
+    /// power of two. Only the ring backend reads it.
+    pub ring_capacity: usize,
+}
+
+impl Default for CommOptions {
+    fn default() -> Self {
+        CommOptions {
+            cost: CollectiveCostModel::default(),
+            backend: ThreadCommBackend::from_env(),
+            pin_cores: std::env::var("KAISA_PIN_CORES")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false),
+            ring_capacity: 256,
+        }
+    }
+}
+
 /// Rendezvous ticket for a collective still in flight on [`ThreadComm`]:
-/// the slot key plus the participant count needed to retire the slot.
+/// the (interned-group, sequence) key plus the participant count needed to
+/// retire the slot.
 #[derive(Debug)]
 pub(crate) struct PendingTicket {
-    pub(crate) key: (Vec<usize>, u64),
+    pub(crate) key: (GroupId, u64),
     pub(crate) participants: usize,
     /// For reduce-scatter: the `(start, len)` ranges of the reduced payload
     /// this rank owns. [`Communicator::complete`] copies their concatenation
@@ -101,7 +194,7 @@ impl PendingCollective {
         PendingCollective { payload: None, ticket: None, tag }
     }
 
-    pub(crate) fn in_flight(key: (Vec<usize>, u64), participants: usize, tag: CommTag) -> Self {
+    pub(crate) fn in_flight(key: (GroupId, u64), participants: usize, tag: CommTag) -> Self {
         PendingCollective {
             payload: None,
             ticket: Some(PendingTicket { key, participants, shard: None }),
@@ -112,7 +205,7 @@ impl PendingCollective {
     /// In-flight reduce-scatter: completion copies only this rank's owned
     /// `(start, len)` ranges of the reduced payload, concatenated.
     pub(crate) fn in_flight_sharded(
-        key: (Vec<usize>, u64),
+        key: (GroupId, u64),
         participants: usize,
         tag: CommTag,
         ranges: Vec<(usize, usize)>,

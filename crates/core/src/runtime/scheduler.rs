@@ -207,6 +207,17 @@ impl Scheduler {
 
     fn run_until(&mut self, poll: &mut impl FnMut(usize) -> TaskPoll, exit_on_deferrable: bool) {
         let mut last_progress = Instant::now();
+        // Spin-then-sleep: a burst of empty scans spins (a parked collective
+        // usually flips ready within microseconds on the lock-free comm
+        // path), then fall back to sleeping so peer rank threads get the
+        // core on oversubscribed machines.
+        let spin_scans: u32 =
+            if std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) > 1 {
+                64
+            } else {
+                1
+            };
+        let mut idle_scans: u32 = 0;
         loop {
             let mut progress = false;
             let mut blocking = false;
@@ -248,6 +259,7 @@ impl Scheduler {
             }
             if progress {
                 last_progress = Instant::now();
+                idle_scans = 0;
             } else {
                 if last_progress.elapsed() >= self.stall_timeout {
                     let window = match self.window {
@@ -262,9 +274,15 @@ impl Scheduler {
                         self.dump()
                     );
                 }
-                // Nothing runnable: the rank is waiting on peers. Sleep a
-                // beat so peer rank threads get the core.
-                std::thread::sleep(Duration::from_micros(100));
+                // Nothing runnable: the rank is waiting on peers. Spin a
+                // bounded burst first, then sleep a beat so peer rank
+                // threads get the core.
+                idle_scans += 1;
+                if idle_scans <= spin_scans {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
             }
         }
     }
