@@ -17,6 +17,7 @@ use kaisa_core::{modeled_depth_makespans, DistStrategy, Kfac, KfacConfig, Memory
 use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
 use kaisa_nn::Model;
+use kaisa_optim::{Optimizer, Sgd};
 use kaisa_tensor::Rng;
 
 /// Benchmark scale knobs (`--quick` shrinks everything for CI).
@@ -108,6 +109,55 @@ fn run(scale: &Scale, pipelined: bool, runtime: bool, depth: usize) -> RunStats 
     let mut stats = results.swap_remove(0);
     stats.wall_seconds = wall;
     stats
+}
+
+/// Curvature-freshness comparison: train the same model/data/seed with
+/// DP-KFAC's rank-local factors (LOCAL-OPT) vs globally-reduced factors
+/// (COMM-OPT) for the same number of epochs, with real SGD updates, and
+/// report the final-epoch mean training loss. LOCAL-OPT trades its zero
+/// factor-collective traffic for staler curvature (each owner sees only
+/// its own rank's statistics); this row quantifies that loss gap at
+/// matched epochs.
+fn final_epoch_loss(scale: &Scale, strategy: DistStrategy) -> (f64, u64) {
+    let dataset = GaussianBlobs::generate(scale.samples, 32, 4, 0.4, 130);
+    let world = scale.world;
+    let epochs = scale.epochs;
+    let opts = CommOptions { backend: scale.comm_backend, ..CommOptions::default() };
+    let mut results = kaisa_comm::ThreadComm::run_with(world, opts, |comm| {
+        let mut model = Mlp::new(&[32, 64, 48, 4], &mut Rng::seed_from_u64(31));
+        let cfg = KfacConfig::builder()
+            .strategy(strategy)
+            .factor_update_freq(5)
+            .inv_update_freq(10)
+            .sharded_factors(strategy != DistStrategy::LocalOpt)
+            .build();
+        let mut kfac = Kfac::new(cfg, &mut model, comm);
+        let mut optimizer = Sgd::with_momentum(0.9);
+        let sampler = ShardSampler::new(dataset.len(), world, comm.rank(), 8, 3);
+        let mut last_epoch_loss = 0.0f64;
+        let mut last_epoch_batches = 0usize;
+        for epoch in 0..epochs {
+            last_epoch_loss = 0.0;
+            last_epoch_batches = 0;
+            for indices in sampler.epoch_batches(epoch) {
+                let (x, y) = dataset.batch(&indices);
+                kfac.prepare(&mut model);
+                model.zero_grad();
+                let r = model.forward_backward(&x, &y);
+                last_epoch_loss += r.loss as f64;
+                last_epoch_batches += 1;
+                kaisa_trainer::allreduce_gradients(&mut model, comm, 1);
+                kfac.step(&mut model, comm, 0.05);
+                optimizer.step_model(&mut model, 0.05);
+            }
+        }
+        kfac.flush(comm);
+        // Mean final-epoch loss across ranks (each rank sees its own shard).
+        let mut loss = [(last_epoch_loss / last_epoch_batches.max(1) as f64) as f32];
+        comm.allreduce(&mut loss, kaisa_comm::ReduceOp::Avg);
+        (loss[0] as f64, kfac.steps())
+    });
+    results.swap_remove(0)
 }
 
 fn ms_per_step(stats: &RunStats) -> (f64, f64) {
@@ -225,6 +275,17 @@ fn main() {
         ));
     }
 
+    // Curvature-freshness row: LOCAL-OPT vs COMM-OPT loss at matched epochs.
+    let (local_loss, local_steps) = final_epoch_loss(&scale, DistStrategy::LocalOpt);
+    let (comm_loss, comm_steps) = final_epoch_loss(&scale, DistStrategy::CommOpt);
+    assert_eq!(local_steps, comm_steps, "matched-epoch runs must take identical step counts");
+    eprintln!(
+        "curvature freshness @ {} epochs: LOCAL-OPT loss {local_loss:.4} vs COMM-OPT loss \
+         {comm_loss:.4} (gap {:+.4})",
+        scale.epochs,
+        local_loss - comm_loss
+    );
+
     let (serial_wall, serial_kfac) = ms_per_step(&serial);
     let (pipelined_wall, pipelined_kfac) = ms_per_step(&pipelined);
     let json = format!(
@@ -239,6 +300,13 @@ fn main() {
             "  \"executors\": {{\n",
             "    \"serial\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
             "    \"pipelined\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
+            "  }},\n",
+            "  \"curvature_freshness\": {{\n",
+            "    \"epochs\": {},\n",
+            "    \"steps\": {},\n",
+            "    \"local_opt_final_epoch_loss\": {:.6},\n",
+            "    \"comm_opt_final_epoch_loss\": {:.6},\n",
+            "    \"loss_gap_local_minus_comm\": {:.6}\n",
             "  }},\n",
             "  \"runtime_depths\": [\n{}\n  ]\n",
             "}}\n"
@@ -256,6 +324,11 @@ fn main() {
         pipelined_wall,
         pipelined_kfac,
         pipelined.peak_memory_bytes,
+        scale.epochs,
+        comm_steps,
+        local_loss,
+        comm_loss,
+        local_loss - comm_loss,
         depth_entries.join(",\n"),
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", json_escape(&out)));

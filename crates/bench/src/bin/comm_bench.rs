@@ -13,7 +13,13 @@
 //! cargo run --release -p kaisa-bench --bin comm_bench            # full
 //! cargo run --release -p kaisa-bench --bin comm_bench -- --quick # CI
 //! cargo run --release -p kaisa-bench --bin comm_bench -- --no-gate --out p.json
+//! cargo run --release -p kaisa-bench --bin comm_bench -- --worlds 8,16,64,128
 //! ```
+//!
+//! `--worlds` takes a comma-separated list of world sizes and overrides the
+//! built-in sweep (`8,16,32` full / `8` quick), so scaling past 32 ranks is
+//! a flag rather than a recompile. The regression gate only runs when the
+//! sweep includes the gate world (8).
 //!
 //! Unless `--no-gate` is passed, the run *fails* (exit 1) if at the gate
 //! world (8) the ring backend regresses past the noise margin
@@ -177,7 +183,33 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_comm.json".to_string());
 
-    let worlds: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
+    let worlds: Vec<usize> = match args.iter().position(|a| a == "--worlds") {
+        Some(i) => {
+            let list = args.get(i + 1).unwrap_or_else(|| {
+                panic!("--worlds needs a comma-separated list, e.g. --worlds 8,16,64")
+            });
+            let parsed: Vec<usize> = list
+                .split(',')
+                .map(|s| {
+                    let w: usize = s
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--worlds: bad world size {s:?}: {e}"));
+                    assert!(w >= 1, "--worlds: world size must be positive");
+                    w
+                })
+                .collect();
+            assert!(!parsed.is_empty(), "--worlds: empty list");
+            parsed
+        }
+        None => {
+            if quick {
+                vec![8]
+            } else {
+                vec![8, 16, 32]
+            }
+        }
+    };
     let iters = if quick { 200 } else { 1000 };
     const GATE_WORLD: usize = 8;
 
@@ -188,7 +220,7 @@ fn main() {
 
     let mut world_blocks = Vec::new();
     let mut gate_failures: Vec<String> = Vec::new();
-    for &world in worlds {
+    for &world in &worlds {
         let mut rows = Vec::new();
         for op in COLLECTIVES {
             let (ring, mutex) = measure_pair(world, iters, op);
@@ -280,7 +312,9 @@ fn main() {
         } else {
             std::process::exit(1);
         }
-    } else {
+    } else if worlds.contains(&GATE_WORLD) {
         eprintln!("comm_bench gate passed at world {GATE_WORLD}");
+    } else {
+        eprintln!("comm_bench gate skipped: world {GATE_WORLD} not in sweep {worlds:?}");
     }
 }

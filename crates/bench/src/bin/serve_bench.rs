@@ -1,0 +1,174 @@
+//! Serve-layer benchmark: multi-job throughput through a shared rank pool
+//! and checkpoint/restore resize latency, written as `BENCH_serve.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Job throughput** — a batch of independent K-FAC jobs is submitted
+//!    to one [`JobManager`] and drained; jobs/sec and optimizer steps/sec
+//!    measure how well the scheduler keeps the pool busy. Jobs request
+//!    fewer ranks than the pool holds, so concurrency (not just raw step
+//!    speed) is part of the number.
+//! 2. **Resize latency** — one job pauses twice, checkpointing through the
+//!    byte format and resuming at a different world size. Each pause's
+//!    latency is read off the manager's own event log: the gap between the
+//!    `Paused` event (segment checkpointed, ranks released) and the next
+//!    `Admitted` event for that job (state restored, re-sharded, running
+//!    again). That window covers serialization, admission, LPT re-placement
+//!    and factor re-sharding — the paper's "reconfigure the world" cost.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin serve_bench            # full
+//! cargo run --release -p kaisa-bench --bin serve_bench -- --quick # CI
+//! cargo run --release -p kaisa-bench --bin serve_bench -- --out p.json
+//! ```
+
+use std::time::Instant;
+
+use kaisa_core::{DistStrategy, KfacConfig};
+use kaisa_serve::{JobManager, JobSpec, JobState, ResizePoint, ServeConfig, ServeEvent};
+
+fn kfac_config(strategy: DistStrategy) -> KfacConfig {
+    KfacConfig::builder()
+        .strategy(strategy)
+        .grad_worker_frac(0.5)
+        .factor_update_freq(2)
+        .inv_update_freq(4)
+        .sharded_factors(true)
+        .build()
+}
+
+/// A K-FAC job sized for the benchmark; `seed` decorrelates the fleet so
+/// jobs are independent work, not one cached computation.
+fn fleet_job(idx: usize, steps: u64, world: usize) -> JobSpec {
+    let mut spec = JobSpec::small(&format!("fleet-{idx}"));
+    spec.layer_sizes = vec![16, 32, 4];
+    spec.model_seed = 100 + idx as u64;
+    spec.data_seed = 200 + idx as u64;
+    spec.momentum = 0.9;
+    spec.kfac = Some(kfac_config(DistStrategy::HybridOpt));
+    spec.world = world;
+    spec.total_steps = steps;
+    spec
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let (jobs, steps, job_world, pool_ranks) = if quick { (4, 8, 2, 4) } else { (12, 24, 4, 8) };
+
+    eprintln!(
+        "serve_bench: {jobs} jobs x {steps} steps at world {job_world} over {pool_ranks} pool \
+         ranks ({})",
+        if quick { "quick" } else { "full" }
+    );
+
+    // --- Throughput: a fleet of independent jobs through one pool. ---
+    let mgr = JobManager::new(ServeConfig { pool_ranks, ..ServeConfig::default() });
+    let start = Instant::now();
+    let mut ids = Vec::new();
+    for i in 0..jobs {
+        ids.push(mgr.submit(fleet_job(i, steps, job_world)).expect("fleet job admitted"));
+    }
+    mgr.drain();
+    let span = start.elapsed().as_secs_f64();
+    for &id in &ids {
+        assert_eq!(mgr.status(id).expect("exists").state, JobState::Completed);
+    }
+    let jobs_per_sec = jobs as f64 / span;
+    let steps_per_sec = (jobs as u64 * steps) as f64 / span;
+    eprintln!(
+        "throughput: {jobs} jobs in {:.3} s -> {jobs_per_sec:.2} jobs/s, {steps_per_sec:.1} \
+         steps/s",
+        span
+    );
+
+    // --- Resize latency: pause -> checkpoint -> restore at a new world. ---
+    let mut resize_spec = fleet_job(jobs, 3 * steps.max(3), job_world);
+    resize_spec.name = "resizer".to_string();
+    let third = resize_spec.total_steps / 3;
+    resize_spec.resizes = vec![
+        ResizePoint { at_step: third, world: pool_ranks },
+        ResizePoint { at_step: 2 * third, world: 1 },
+    ];
+    let rmgr = JobManager::new(ServeConfig { pool_ranks, ..ServeConfig::default() });
+    let rid = rmgr.run_to_completion(resize_spec).expect("resize job admitted");
+    assert_eq!(rmgr.status(rid).expect("exists").state, JobState::Completed);
+    let ckpt_bytes = rmgr.status(rid).expect("exists").checkpoint_bytes.unwrap_or(0);
+    let events = rmgr.events();
+    let mut resize_ms = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if let ServeEvent::Paused { job, step, at } = e {
+            if *job != rid {
+                continue;
+            }
+            let resumed = events[i..]
+                .iter()
+                .find_map(|e2| match e2 {
+                    ServeEvent::Admitted { job: j, step: s, at: a, .. }
+                        if j == job && s == step =>
+                    {
+                        Some(*a)
+                    }
+                    _ => None,
+                })
+                .expect("paused job was re-admitted");
+            resize_ms.push((resumed - at) * 1e3);
+        }
+    }
+    assert_eq!(resize_ms.len(), 2, "both pause points must round-trip");
+    let mean_ms = resize_ms.iter().sum::<f64>() / resize_ms.len() as f64;
+    let max_ms = resize_ms.iter().fold(0.0f64, |m, &v| m.max(v));
+    eprintln!(
+        "resize latency: mean {mean_ms:.2} ms, max {max_ms:.2} ms over {} pauses (checkpoint {} \
+         B)",
+        resize_ms.len(),
+        ckpt_bytes
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"kaisa-serve\",\n",
+            "  \"quick\": {},\n",
+            "  \"pool_ranks\": {},\n",
+            "  \"throughput\": {{\n",
+            "    \"jobs\": {},\n",
+            "    \"steps_per_job\": {},\n",
+            "    \"job_world\": {},\n",
+            "    \"wall_seconds\": {:.4},\n",
+            "    \"jobs_per_sec\": {:.3},\n",
+            "    \"steps_per_sec\": {:.1}\n",
+            "  }},\n",
+            "  \"resize\": {{\n",
+            "    \"pauses\": {},\n",
+            "    \"checkpoint_bytes\": {},\n",
+            "    \"latency_ms\": [{}],\n",
+            "    \"mean_latency_ms\": {:.3},\n",
+            "    \"max_latency_ms\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick,
+        pool_ranks,
+        jobs,
+        steps,
+        job_world,
+        span,
+        jobs_per_sec,
+        steps_per_sec,
+        resize_ms.len(),
+        ckpt_bytes,
+        resize_ms.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(", "),
+        mean_ms,
+        max_ms,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

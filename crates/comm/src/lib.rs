@@ -37,6 +37,7 @@ mod cost_model;
 mod group;
 mod local;
 mod meter;
+mod pool;
 mod ring_comm;
 pub mod spsc;
 mod thread_comm;
@@ -44,6 +45,7 @@ mod thread_comm;
 pub use cost_model::{ClusterNetwork, CollectiveAlgorithm, CollectiveCostModel};
 pub use local::LocalComm;
 pub use meter::{CommEvent, CommOp, CommTag, Meter, MeterSnapshot};
+pub use pool::RankPool;
 pub use thread_comm::ThreadComm;
 
 use group::GroupId;

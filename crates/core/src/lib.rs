@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod assignment;
+mod checkpoint;
 mod config;
 mod memory;
 pub mod pipeline;
@@ -50,8 +51,9 @@ mod timing;
 pub use assignment::{
     plan_assignments, plan_assignments_with, AssignmentStrategy, LayerAssignment, WorkPlan,
 };
+pub use checkpoint::{KfacCheckpoint, LayerCheckpoint};
 pub use config::{CrossIterDepth, KfacConfig, KfacConfigBuilder};
-pub use memory::{MemoryCategory, MemoryMeter};
+pub use memory::{MemoryBudget, MemoryCategory, MemoryMeter};
 pub use pipeline::{
     priority_sweep_order, ComputeRates, PipelineStage, StepModel, StepModelOptions, TaskGraph,
 };

@@ -81,3 +81,7 @@ pub use kaisa_sim as sim;
 
 /// The distributed training harness.
 pub use kaisa_trainer as trainer;
+
+/// Multi-job K-FAC service: shared rank pool, admission control,
+/// checkpoint/restore, elastic world resizing.
+pub use kaisa_serve as serve;

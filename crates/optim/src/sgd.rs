@@ -39,6 +39,20 @@ impl Sgd {
         self.nesterov = true;
         self
     }
+
+    /// The momentum velocity buffer — empty until the first momentum step
+    /// (plain SGD never allocates one). Exposed so checkpoint/restore can
+    /// carry optimizer state across a pause.
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Restore a velocity buffer captured by [`Sgd::velocity`]. An empty
+    /// vector resets to the pre-first-step state; otherwise the length must
+    /// match the parameter count of the model this optimizer will step.
+    pub fn set_velocity(&mut self, velocity: Vec<f32>) {
+        self.velocity = velocity;
+    }
 }
 
 impl Default for Sgd {

@@ -82,6 +82,81 @@ where
     }
 }
 
+/// Per-step training statistics returned by [`run_step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepStats {
+    /// Sum of micro-batch losses this step.
+    pub loss_sum: f64,
+    /// Sum of micro-batch metrics this step.
+    pub metric_sum: f64,
+    /// Micro-batches executed (== `ceil(indices / local_batch)`).
+    pub micro_batches: usize,
+}
+
+/// Drive exactly one synchronous optimizer step: K-FAC capture arming,
+/// micro-batch forward/backward accumulation, the optional async
+/// `step_begin` lookahead, the DDP gradient allreduce, K-FAC
+/// preconditioning, and the first-order update.
+///
+/// This is the loop body of [`train_rank`], exposed so external drivers
+/// (the serve layer's job manager) can advance a job step-at-a-time —
+/// pausing, checkpointing, and resuming — while executing the *identical*
+/// code path as an uninterrupted run. `kfac_async` must mirror the
+/// `KfacConfig::async_runtime` flag the preconditioner was built with.
+// A step genuinely has this many independent inputs; bundling them into a
+// struct would only move the argument list behind a constructor.
+#[allow(clippy::too_many_arguments)]
+pub fn run_step<M, D>(
+    comm: &dyn Communicator,
+    model: &mut M,
+    optimizer: &mut dyn Optimizer,
+    mut kfac: Option<&mut Kfac>,
+    kfac_async: bool,
+    train_set: &D,
+    indices: &[usize],
+    local_batch: usize,
+    grad_accum: usize,
+    lr: f32,
+) -> StepStats
+where
+    M: Model,
+    D: Dataset<Input = M::Input, Target = M::Target> + ?Sized,
+{
+    if let Some(kfac) = kfac.as_deref() {
+        kfac.prepare(model);
+    } else {
+        model.set_kfac_capture(false);
+    }
+    model.zero_grad();
+
+    // Gradient accumulation: split the step's indices into micro-batches;
+    // gradients (and K-FAC statistics) accumulate.
+    let mut stats = StepStats::default();
+    for micro in indices.chunks(local_batch) {
+        let (x, y) = train_set.batch(micro);
+        let r = model.forward_backward(&x, &y);
+        stats.loss_sum += r.loss as f64;
+        stats.metric_sum += r.metric as f64;
+        stats.micro_batches += 1;
+    }
+
+    if kfac_async {
+        if let Some(kfac) = kfac.as_deref_mut() {
+            kfac.step_begin(model, comm);
+        }
+    }
+    allreduce_gradients(model, comm, grad_accum);
+    if let Some(kfac) = kfac {
+        if kfac_async {
+            kfac.step_finish(model, comm, lr);
+        } else {
+            kfac.step(model, comm, lr);
+        }
+    }
+    optimizer.step_model_dyn(model, lr);
+    stats
+}
+
 /// Run the training loop for one rank. All ranks must construct identical
 /// models (same seed) — the data-parallel contract.
 pub fn train_rank<M, D>(
@@ -121,37 +196,21 @@ where
 
         for indices in sampler.epoch_batches(epoch) {
             let lr = cfg.schedule.lr_at(iterations);
-            if let Some(kfac) = &kfac {
-                kfac.prepare(&mut model);
-            } else {
-                model.set_kfac_capture(false);
-            }
-            model.zero_grad();
-
-            // Gradient accumulation: split the step's indices into
-            // micro-batches; gradients (and K-FAC statistics) accumulate.
-            for micro in indices.chunks(cfg.local_batch) {
-                let (x, y) = train_set.batch(micro);
-                let r = model.forward_backward(&x, &y);
-                epoch_loss += r.loss as f64;
-                epoch_metric += r.metric as f64;
-                epoch_batches += 1;
-            }
-
-            if kfac_async {
-                if let Some(kfac) = &mut kfac {
-                    kfac.step_begin(&mut model, comm);
-                }
-            }
-            allreduce_gradients(&mut model, comm, cfg.grad_accum);
-            if let Some(kfac) = &mut kfac {
-                if kfac_async {
-                    kfac.step_finish(&mut model, comm, lr);
-                } else {
-                    kfac.step(&mut model, comm, lr);
-                }
-            }
-            optimizer.step_model_dyn(&mut model, lr);
+            let stats = run_step(
+                comm,
+                &mut model,
+                optimizer,
+                kfac.as_mut(),
+                kfac_async,
+                train_set,
+                &indices,
+                cfg.local_batch,
+                cfg.grad_accum,
+                lr,
+            );
+            epoch_loss += stats.loss_sum;
+            epoch_metric += stats.metric_sum;
+            epoch_batches += stats.micro_batches;
             iterations += 1;
         }
 

@@ -14,5 +14,5 @@ mod harness;
 mod metrics;
 
 pub use ddp::allreduce_gradients;
-pub use harness::{train_distributed, train_rank, TrainConfig};
+pub use harness::{run_step, train_distributed, train_rank, StepStats, TrainConfig};
 pub use metrics::{EpochRecord, TrainResult};
