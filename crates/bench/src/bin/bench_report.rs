@@ -8,6 +8,7 @@
 //! cargo run --release -p kaisa-bench --bin bench_report -- --out path.json
 //! cargo run --release -p kaisa-bench --bin bench_report -- --strategy local-opt
 //! cargo run --release -p kaisa-bench --bin bench_report -- --comm-backend mutex
+//! cargo run --release -p kaisa-bench --bin bench_report -- --gemm-kernel naive
 //! ```
 
 use std::time::Instant;
@@ -18,7 +19,7 @@ use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
 use kaisa_nn::Model;
 use kaisa_optim::{Optimizer, Sgd};
-use kaisa_tensor::Rng;
+use kaisa_tensor::{GemmKernel, Rng};
 
 /// Benchmark scale knobs (`--quick` shrinks everything for CI).
 struct Scale {
@@ -203,6 +204,19 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{e}"))
         })
         .unwrap_or_else(ThreadCommBackend::from_env);
+    // `--gemm-kernel` pins the process-wide GEMM kernel for the whole run
+    // (otherwise `KAISA_GEMM_KERNEL` / Auto applies); the resolved choice
+    // is recorded in every row so archived runs stay comparable across
+    // the blocked and naive paths.
+    if let Some(i) = args.iter().position(|a| a == "--gemm-kernel") {
+        let kernel: GemmKernel = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--gemm-kernel needs a value (auto|blocked|naive)"))
+            .parse()
+            .unwrap_or_else(|e| panic!("{e}"));
+        kaisa_tensor::set_gemm_kernel(kernel);
+    }
+    let gemm_kernel = kaisa_tensor::gemm_kernel();
     let scale = if quick {
         Scale { world: 4, epochs: 1, samples: 256, quick, strategy, comm_backend }
     } else {
@@ -210,12 +224,13 @@ fn main() {
     };
 
     eprintln!(
-        "bench_report: world={} epochs={} samples={} strategy={} comm={} ({})",
+        "bench_report: world={} epochs={} samples={} strategy={} comm={} gemm={} ({})",
         scale.world,
         scale.epochs,
         scale.samples,
         scale.strategy.map(|s| s.name()).unwrap_or("default"),
         scale.comm_backend,
+        gemm_kernel,
         if quick { "quick" } else { "full" }
     );
 
@@ -260,13 +275,14 @@ fn main() {
         depth_entries.push(format!(
             concat!(
                 "    {{\"depth\": {}, \"strategy\": \"{}\", \"comm_backend\": \"{}\", ",
-                "\"wall_ms_per_step\": {:.6}, ",
+                "\"gemm_kernel\": \"{}\", \"wall_ms_per_step\": {:.6}, ",
                 "\"kfac_ms_per_step\": {:.6}, \"modeled_amortized_ms\": {:.6}, ",
                 "\"peak_memory_bytes\": {}, \"peak_held_window_bytes\": {}}}"
             ),
             depth,
             json_escape(stats.strategy),
             scale.comm_backend,
+            gemm_kernel,
             wall_ms,
             kfac_ms,
             amortized * 1e3,
@@ -297,9 +313,10 @@ fn main() {
             "  \"comm_backend\": \"{}\",\n",
             "  \"factor_update_freq\": 5,\n",
             "  \"network_model\": \"10GbE\",\n",
+            "  \"gemm_kernel\": \"{}\",\n",
             "  \"executors\": {{\n",
-            "    \"serial\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
-            "    \"pipelined\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
+            "    \"serial\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"gemm_kernel\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
+            "    \"pipelined\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"gemm_kernel\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
             "  }},\n",
             "  \"curvature_freshness\": {{\n",
             "    \"epochs\": {},\n",
@@ -314,13 +331,16 @@ fn main() {
         scale.quick,
         scale.world,
         scale.comm_backend,
+        gemm_kernel,
         json_escape(serial.strategy),
         scale.comm_backend,
+        gemm_kernel,
         serial_wall,
         serial_kfac,
         serial.peak_memory_bytes,
         json_escape(pipelined.strategy),
         scale.comm_backend,
+        gemm_kernel,
         pipelined_wall,
         pipelined_kfac,
         pipelined.peak_memory_bytes,

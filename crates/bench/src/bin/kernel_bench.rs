@@ -1,0 +1,331 @@
+//! Kernel-floor throughput harness: blocked-vs-naive GEMM GFLOP/s per
+//! layout and shape, plus batched-vs-serial eigensolve latency, written as
+//! `BENCH_kernels.json` next to `BENCH_comm.json`.
+//!
+//! Both kernels are measured in the same process on the same machine with
+//! interleaved best-of trials (the comm_bench protocol), so the comparison
+//! is self-calibrating on noisy runners. The naive kernels are the
+//! permanent bitwise oracle — this harness is what keeps the blocked path
+//! *worth having*.
+//!
+//! ```sh
+//! cargo run --release -p kaisa-bench --bin kernel_bench            # full
+//! cargo run --release -p kaisa-bench --bin kernel_bench -- --quick # CI
+//! cargo run --release -p kaisa-bench --bin kernel_bench -- --no-gate --out k.json
+//! ```
+//!
+//! Unless `--no-gate` is passed, the run *fails* (exit 1) if:
+//!
+//! * the blocked kernel drops below the naive kernel past the noise margin
+//!   ([`GATE_TOLERANCE`]) on any measured (layout, shape) cell — the
+//!   blocked path must never be a regression anywhere; or
+//! * blocked `nn` fails to clear [`SPEEDUP_FLOOR`]× naive at the flagship
+//!   512³ f32 shape — the whole point of the SIMD microkernel; or
+//! * the batched eigensolve path regresses past [`EIG_TOLERANCE`] above
+//!   the serial per-call loop on the same factor set (scratch reuse means
+//!   it should win or tie even on one core).
+
+use std::time::Instant;
+
+use kaisa_linalg::{sym_eig, sym_eig_batch_timed};
+use kaisa_tensor::{
+    gemm_nn_with, gemm_nt_with, gemm_tn_with, set_gemm_kernel, GemmKernel, Matrix, Rng,
+};
+
+/// Measured trials per cell; best is kept (each trial is a complete
+/// measurement, so the best is the least scheduler-perturbed).
+const TRIALS: usize = 3;
+/// Minimum FLOPs per timed window so small shapes aren't timer-noise.
+const WINDOW_FLOPS: f64 = 1.0e8;
+/// Relative noise margin for the never-a-regression gate: blocked must
+/// stay within this fraction below naive on every measured cell.
+const GATE_TOLERANCE: f64 = 0.10;
+/// Required blocked/naive speedup for layout `nn` at the flagship shape.
+const SPEEDUP_FLOOR: f64 = 1.5;
+/// The flagship gate shape (m, k, n).
+const FLOOR_SHAPE: (usize, usize, usize) = (512, 512, 512);
+/// Noise margin for the batched-eigensolve gate (batched must not exceed
+/// serial by more than this fraction).
+const EIG_TOLERANCE: f64 = 0.25;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Layout {
+    Nn,
+    Tn,
+    Nt,
+}
+
+const LAYOUTS: [Layout; 3] = [Layout::Nn, Layout::Tn, Layout::Nt];
+
+impl Layout {
+    fn name(self) -> &'static str {
+        match self {
+            Layout::Nn => "nn",
+            Layout::Tn => "tn",
+            Layout::Nt => "nt",
+        }
+    }
+
+    /// Operand lengths for C(m×n): nn = A(m×k)·B(k×n), tn = Aᵀ with A
+    /// stored k×m, nt = Bᵀ with B stored n×k.
+    fn operand_lens(self, m: usize, k: usize, n: usize) -> (usize, usize) {
+        match self {
+            Layout::Nn => (m * k, k * n),
+            Layout::Tn => (k * m, k * n),
+            Layout::Nt => (m * k, n * k),
+        }
+    }
+
+    fn run(
+        self,
+        kernel: GemmKernel,
+        (m, k, n): (usize, usize, usize),
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) {
+        match self {
+            Layout::Nn => gemm_nn_with(kernel, m, k, n, a, b, c),
+            Layout::Tn => gemm_tn_with(kernel, m, k, n, a, b, c),
+            Layout::Nt => gemm_nt_with(kernel, m, k, n, a, b, c),
+        }
+    }
+}
+
+/// One timed trial: `iters` back-to-back GEMMs (C zeroed per iteration —
+/// both kernels pay the identical memset), returning GFLOP/s.
+fn gemm_trial(
+    layout: Layout,
+    kernel: GemmKernel,
+    shape: (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    iters: usize,
+) -> f64 {
+    let (m, k, n) = shape;
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        c.fill(0.0);
+        layout.run(kernel, shape, a, b, c);
+    }
+    flops * iters as f64 / start.elapsed().as_secs_f64() / 1.0e9
+}
+
+/// Measure one (layout, shape) cell: interleaved best-of-[`TRIALS`] for
+/// both kernels, alternating which goes first so machine-speed drift
+/// (frequency scaling, cache warm-up) biases neither.
+fn measure_gemm(layout: Layout, m: usize, k: usize, n: usize) -> (f64, f64) {
+    let mut rng = Rng::seed_from_u64(42);
+    let (a_len, b_len) = layout.operand_lens(m, k, n);
+    let a: Vec<f32> = (0..a_len).map(|_| rng.next_f32() - 0.5).collect();
+    let b: Vec<f32> = (0..b_len).map(|_| rng.next_f32() - 0.5).collect();
+    let mut c = vec![0.0f32; m * n];
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let iters = (WINDOW_FLOPS / flops).ceil().max(1.0) as usize;
+
+    // Warm both paths once (page-faults the buffers, settles detection).
+    layout.run(GemmKernel::Blocked, (m, k, n), &a, &b, &mut c);
+    c.fill(0.0);
+    layout.run(GemmKernel::Naive, (m, k, n), &a, &b, &mut c);
+
+    let (mut blocked, mut naive) = (0.0f64, 0.0f64);
+    for t in 0..TRIALS {
+        let order = if t % 2 == 0 {
+            [GemmKernel::Blocked, GemmKernel::Naive]
+        } else {
+            [GemmKernel::Naive, GemmKernel::Blocked]
+        };
+        for kernel in order {
+            let gflops = gemm_trial(layout, kernel, (m, k, n), &a, &b, &mut c, iters);
+            match kernel {
+                GemmKernel::Blocked => blocked = blocked.max(gflops),
+                _ => naive = naive.max(gflops),
+            }
+        }
+    }
+    (blocked, naive)
+}
+
+fn random_spd(n: usize, rng: &mut Rng) -> Matrix {
+    let a = Matrix::randn(n, n, 1.0, rng);
+    let mut s = a.matmul_tn(&a);
+    s.scale(1.0 / n as f32);
+    s
+}
+
+/// Measure the factor-inventory eigensolve set: serial per-call loop vs
+/// the batched queue (auto workers), interleaved best-of-[`TRIALS`],
+/// returning `(serial_ms, batched_ms)`.
+fn measure_eig(sizes: &[usize]) -> (f64, f64) {
+    let mut rng = Rng::seed_from_u64(43);
+    let mats: Vec<Matrix> = sizes.iter().map(|&n| random_spd(n, &mut rng)).collect();
+    let refs: Vec<&Matrix> = mats.iter().collect();
+
+    // Warm both paths.
+    for m in &mats {
+        let _ = sym_eig(m).unwrap();
+    }
+    let _ = sym_eig_batch_timed(&refs, 0);
+
+    let serial_trial = |mats: &[Matrix]| {
+        let start = Instant::now();
+        for m in mats {
+            let _ = sym_eig(m).unwrap();
+        }
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let batched_trial = |refs: &[&Matrix]| {
+        let start = Instant::now();
+        let _ = sym_eig_batch_timed(refs, 0);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+
+    let (mut serial, mut batched) = (f64::INFINITY, f64::INFINITY);
+    for t in 0..TRIALS {
+        if t % 2 == 0 {
+            serial = serial.min(serial_trial(&mats));
+            batched = batched.min(batched_trial(&refs));
+        } else {
+            batched = batched.min(batched_trial(&refs));
+            serial = serial.min(serial_trial(&mats));
+        }
+    }
+    (serial, batched)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_gate = args.iter().any(|a| a == "--no-gate");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    // Pin Auto out of the way: every measurement names its kernel
+    // explicitly, but model GEMMs inside warmup shouldn't flap.
+    set_gemm_kernel(GemmKernel::Auto);
+
+    // The flagship 512³ gate shape always runs — even in --quick — plus a
+    // small shape near the Auto dispatch threshold and K-FAC-typical
+    // rectangles (tall-k factor statistics, square factors) in full mode.
+    let shapes: Vec<(usize, usize, usize)> = if quick {
+        vec![(128, 128, 128), FLOOR_SHAPE]
+    } else {
+        vec![
+            (64, 64, 64),
+            (128, 128, 128),
+            (256, 256, 256),
+            FLOOR_SHAPE,
+            (256, 1024, 256),
+            (96, 600, 84),
+        ]
+    };
+    // A layer-inventory-like eigensolve set: equal-n runs with stragglers.
+    let eig_sizes: Vec<usize> = if quick {
+        vec![48, 48, 32, 48, 16, 48, 8, 64]
+    } else {
+        vec![96, 64, 64, 64, 48, 64, 32, 64, 16, 96, 64, 8]
+    };
+
+    eprintln!(
+        "kernel_bench: shapes={shapes:?} trials={TRIALS} ({})",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut rows = Vec::new();
+    for &(m, k, n) in &shapes {
+        for layout in LAYOUTS {
+            let (blocked, naive) = measure_gemm(layout, m, k, n);
+            let speedup = blocked / naive;
+            eprintln!(
+                "gemm {:<2} {m:>4}x{k:>4}x{n:>4}  blocked {blocked:>7.2} GF/s | naive {naive:>6.2} GF/s | {speedup:>5.2}x",
+                layout.name()
+            );
+            if blocked < naive * (1.0 - GATE_TOLERANCE) {
+                gate_failures.push(format!(
+                    "{} {m}x{k}x{n}: blocked {blocked:.2} GF/s < naive {naive:.2} GF/s - {:.0}% margin",
+                    layout.name(),
+                    GATE_TOLERANCE * 100.0
+                ));
+            }
+            if layout == Layout::Nn && (m, k, n) == FLOOR_SHAPE && speedup < SPEEDUP_FLOOR {
+                gate_failures.push(format!(
+                    "nn {m}x{k}x{n}: blocked/naive {speedup:.2}x < {SPEEDUP_FLOOR}x floor"
+                ));
+            }
+            rows.push(format!(
+                "    {{\"layout\": \"{}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \"blocked_gflops\": {blocked:.3}, \"naive_gflops\": {naive:.3}, \"speedup\": {speedup:.3}}}",
+                layout.name()
+            ));
+        }
+    }
+
+    let (serial_ms, batched_ms) = measure_eig(&eig_sizes);
+    let eig_speedup = serial_ms / batched_ms;
+    eprintln!(
+        "eigensolve x{}  serial {serial_ms:>7.2} ms | batched {batched_ms:>7.2} ms | {eig_speedup:>5.2}x",
+        eig_sizes.len()
+    );
+    if batched_ms > serial_ms * (1.0 + EIG_TOLERANCE) {
+        gate_failures.push(format!(
+            "eigensolve: batched {batched_ms:.2} ms > serial {serial_ms:.2} ms + {:.0}% margin",
+            EIG_TOLERANCE * 100.0
+        ));
+    }
+
+    let gate_passed = gate_failures.is_empty();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"kaisa-kernels\",\n",
+            "  \"quick\": {},\n",
+            "  \"trials\": {},\n",
+            "  \"gemm\": [\n{}\n  ],\n",
+            "  \"eigensolve\": {{\"sizes\": {:?}, \"serial_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.3}}},\n",
+            "  \"gate\": {{\"tolerance\": {}, \"speedup_floor\": {}, \"floor_shape\": [{}, {}, {}], \"eig_tolerance\": {}, \"enforced\": {}, \"passed\": {}, \"failures\": [{}]}}\n",
+            "}}\n"
+        ),
+        quick,
+        TRIALS,
+        rows.join(",\n"),
+        eig_sizes,
+        serial_ms,
+        batched_ms,
+        eig_speedup,
+        GATE_TOLERANCE,
+        SPEEDUP_FLOOR,
+        FLOOR_SHAPE.0,
+        FLOOR_SHAPE.1,
+        FLOOR_SHAPE.2,
+        EIG_TOLERANCE,
+        !no_gate,
+        gate_passed,
+        gate_failures
+            .iter()
+            .map(|f| format!("\"{}\"", f.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+
+    if !gate_passed {
+        eprintln!("kernel_bench gate FAILED:");
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        if no_gate {
+            eprintln!("(--no-gate: reporting only, not failing)");
+        } else {
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("kernel_bench gate passed");
+    }
+}

@@ -1,7 +1,7 @@
 //! K-FAC preconditioner configuration.
 
 use kaisa_comm::ClusterNetwork;
-use kaisa_tensor::Precision;
+use kaisa_tensor::{GemmKernel, Precision};
 
 use crate::{AssignmentStrategy, DistStrategy};
 
@@ -130,6 +130,22 @@ pub struct KfacConfig {
     /// task-state diagnostic and panics (instead of hanging the process on
     /// a mismatched collective).
     pub runtime_stall_timeout_ms: u64,
+    /// Worker cap for the batched factor-eigensolve queue at decomposition
+    /// sites. `0` (default) defers to `KAISA_EIG_BATCH` and then one worker
+    /// per core; `1` disables batching entirely (factors solve one call at
+    /// a time, the pre-PR-9 behavior); `N` caps the queue workers at `N`.
+    /// Batching is bitwise identical to serial solves and only ever applies
+    /// to dense-resident factors — shard-resident factors keep their
+    /// one-at-a-time transient-square materialization so the metered
+    /// memory peak is unchanged.
+    pub eig_batch: usize,
+    /// Process-wide GEMM kernel selection applied at [`crate::Kfac::new`]
+    /// ([`kaisa_tensor::set_gemm_kernel`]). `None` (default) leaves the
+    /// `KAISA_GEMM_KERNEL` environment selection (or `auto`) in place.
+    /// Blocked and naive kernels are bitwise interchangeable, so this knob
+    /// is purely observability/performance. Note it is global to the
+    /// process, not scoped to one `Kfac` instance.
+    pub gemm_kernel: Option<GemmKernel>,
 }
 
 impl Default for KfacConfig {
@@ -155,6 +171,8 @@ impl Default for KfacConfig {
             network: None,
             cross_iter_depth: CrossIterDepth::Fixed(1),
             runtime_stall_timeout_ms: 5000,
+            eig_batch: 0,
+            gemm_kernel: None,
         }
     }
 }
@@ -340,6 +358,20 @@ impl KfacConfigBuilder {
         self
     }
 
+    /// Cap the batched factor-eigensolve queue workers (`0` = auto via
+    /// `KAISA_EIG_BATCH` / core count, `1` = solve one factor per call).
+    pub fn eig_batch(mut self, workers: usize) -> Self {
+        self.cfg.eig_batch = workers;
+        self
+    }
+
+    /// Pin the process-wide GEMM kernel selection at `Kfac::new` time
+    /// (blocked and naive are bitwise interchangeable).
+    pub fn gemm_kernel(mut self, kernel: GemmKernel) -> Self {
+        self.cfg.gemm_kernel = Some(kernel);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> KfacConfig {
         self.cfg.validate();
@@ -404,6 +436,16 @@ mod tests {
         let cfg = KfacConfig::builder().strategy(DistStrategy::LocalOpt).build();
         assert_eq!(cfg.strategy, Some(DistStrategy::LocalOpt));
         assert_eq!(KfacConfig::default().strategy, None);
+    }
+
+    #[test]
+    fn kernel_knobs_roundtrip() {
+        let cfg = KfacConfig::builder().eig_batch(4).gemm_kernel(GemmKernel::Naive).build();
+        assert_eq!(cfg.eig_batch, 4);
+        assert_eq!(cfg.gemm_kernel, Some(GemmKernel::Naive));
+        let default = KfacConfig::default();
+        assert_eq!(default.eig_batch, 0);
+        assert_eq!(default.gemm_kernel, None);
     }
 
     #[test]

@@ -33,6 +33,27 @@ impl std::fmt::Display for EigenError {
 
 impl std::error::Error for EigenError {}
 
+/// Reusable `f64` workspace for [`sym_eig_with_scratch`].
+///
+/// The three buffers (`z` matrix, `d` diagonal, `e` off-diagonal) are fully
+/// overwritten before any read on every solve, so reusing one workspace
+/// across a sequence of solves — the batched queue in
+/// [`crate::sym_eig_batch_timed`] does exactly this per worker — is bitwise
+/// identical to fresh allocations; equal-`n` runs never reallocate.
+#[derive(Debug, Default)]
+pub struct EigScratch {
+    z: Vec<f64>,
+    d: Vec<f64>,
+    e: Vec<f64>,
+}
+
+impl EigScratch {
+    /// Create an empty workspace; buffers grow to the largest `n` solved.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute the eigendecomposition of a symmetric matrix.
 ///
 /// Only the lower triangle of `m` is referenced (the matrix is assumed
@@ -42,6 +63,14 @@ impl std::error::Error for EigenError {}
 /// # Panics
 /// If `m` is not square.
 pub fn sym_eig(m: &Matrix) -> Result<SymEig, EigenError> {
+    sym_eig_with_scratch(m, &mut EigScratch::new())
+}
+
+/// [`sym_eig`] against a caller-held workspace (see [`EigScratch`]).
+///
+/// # Panics
+/// If `m` is not square.
+pub fn sym_eig_with_scratch(m: &Matrix, scratch: &mut EigScratch) -> Result<SymEig, EigenError> {
     assert!(m.is_square(), "sym_eig requires a square matrix");
     let n = m.rows();
     if n == 0 {
@@ -49,7 +78,9 @@ pub fn sym_eig(m: &Matrix) -> Result<SymEig, EigenError> {
     }
 
     // Work in f64.
-    let mut z: Vec<f64> = m.as_slice().iter().map(|&v| v as f64).collect();
+    let z = &mut scratch.z;
+    z.clear();
+    z.extend(m.as_slice().iter().map(|&v| v as f64));
     // Force symmetry from the lower triangle so callers can pass
     // almost-symmetric accumulations safely.
     for r in 0..n {
@@ -57,11 +88,15 @@ pub fn sym_eig(m: &Matrix) -> Result<SymEig, EigenError> {
             z[r * n + c] = z[c * n + r];
         }
     }
-    let mut d = vec![0.0f64; n];
-    let mut e = vec![0.0f64; n];
+    let d = &mut scratch.d;
+    d.clear();
+    d.resize(n, 0.0);
+    let e = &mut scratch.e;
+    e.clear();
+    e.resize(n, 0.0);
 
-    tred2(n, &mut z, &mut d, &mut e);
-    tql2(n, &mut d, &mut e, &mut z)?;
+    tred2(n, z, d, e);
+    tql2(n, d, e, z)?;
 
     // Sort ascending, permuting eigenvector columns.
     let mut order: Vec<usize> = (0..n).collect();

@@ -7,6 +7,10 @@
 //!   inversion (Section 2.1.3). Factor eigendecompositions produce real
 //!   eigenvalues and orthogonal eigenvectors because the Kronecker factors
 //!   `A = aᵀa` and `G = gᵀg` are symmetric positive semi-definite.
+//! * [`sym_eig_batch_timed`] / [`sym_eig_batch`] — queue-drained batched
+//!   solves of many independent factors with per-worker reused
+//!   [`EigScratch`], bitwise identical to per-call [`sym_eig`]; worker cap
+//!   via `KAISA_EIG_BATCH` or the caller.
 //! * [`cholesky`] / [`cholesky_solve`] / [`spd_inverse`] — SPD factorizations
 //!   for the direct damped-inverse preconditioning baseline (Eq. 12–14),
 //!   implemented so the eigendecomposition-vs-inverse ablation in the paper
@@ -22,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cholesky;
 mod eigen;
 mod inverse;
 mod triangular;
 
+pub use batch::{eig_batch_workers, sym_eig_batch, sym_eig_batch_timed};
 pub use cholesky::{cholesky, cholesky_solve, spd_inverse, CholeskyError};
-pub use eigen::{sym_eig, EigenError, SymEig};
+pub use eigen::{sym_eig, sym_eig_with_scratch, EigScratch, EigenError, SymEig};
 pub use inverse::lu_inverse;
 pub use triangular::{pack_upper, packed_len, unpack_upper};

@@ -1,7 +1,9 @@
 //! Property-based tests on the decompositions: reconstruction,
 //! orthogonality, and packing invariants over random symmetric matrices.
 
-use kaisa_linalg::{cholesky, lu_inverse, pack_upper, packed_len, sym_eig, unpack_upper};
+use kaisa_linalg::{
+    cholesky, lu_inverse, pack_upper, packed_len, sym_eig, sym_eig_batch_timed, unpack_upper,
+};
 use kaisa_tensor::{Matrix, Rng};
 use proptest::prelude::*;
 
@@ -69,6 +71,35 @@ proptest! {
         let packed = pack_upper(&m);
         prop_assert_eq!(packed.len(), packed_len(n));
         prop_assert_eq!(unpack_upper(&packed, n), m);
+    }
+
+    #[test]
+    fn batched_eig_bitwise_matches_serial(
+        sizes in prop::collection::vec(1usize..20, 1..8),
+        seed in any::<u64>(),
+        workers in 0usize..5,
+    ) {
+        // The batch queue (any worker count, shared per-worker scratch,
+        // LPT claim order) must return exactly what per-call sym_eig
+        // returns, in input order — worker interleaving unobservable.
+        let mats: Vec<Matrix> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| random_symmetric(n, seed.wrapping_add(i as u64)))
+            .collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let batched = sym_eig_batch_timed(&refs, workers);
+        prop_assert_eq!(batched.len(), mats.len());
+        for (m, (result, _)) in mats.iter().zip(&batched) {
+            let serial = sym_eig(m).unwrap();
+            let eig = result.as_ref().unwrap();
+            for (a, b) in eig.values.iter().zip(&serial.values) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in eig.vectors.as_slice().iter().zip(serial.vectors.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -5,20 +5,153 @@
 //! and plain products (preconditioning `Qᵀ·∇L·Q`), so those avoid
 //! materializing transposes.
 //!
+//! Two kernel families sit behind each entry point, selected by
+//! [`GemmKernel`] (env `KAISA_GEMM_KERNEL`, [`set_gemm_kernel`], or the
+//! `KfacConfig` knob in `kaisa-core`):
+//!
+//! * **naive** — the original i-k-j / k-i-j / dot-product loops. These are
+//!   the reference implementation the blocked path is property-tested
+//!   against, and stay the permanent oracle.
+//! * **blocked** — packed-panel, register-tiled microkernels (`MR x NR` =
+//!   6×16) with an AVX2 `std::arch` inner loop behind runtime feature
+//!   detection and a portable scalar fallback. A panels are packed `MR`
+//!   rows at a time per `MC`-row cache block, B panels `NR` columns at a
+//!   time; panels carry the **full** k extent (no k-blocking), so every
+//!   `C[i,j]` receives exactly one `mul` + `add` per `kk` in ascending
+//!   order — the identical floating-point sequence to the naive loops,
+//!   making the two kernels bitwise interchangeable. The microkernel never
+//!   fuses into FMA for the same reason.
+//!
 //! Parallelization splits `C` into independent row bands, each handed to one
-//! scoped thread via `chunks_mut` — data-race free by construction. Small
-//! problems stay serial to avoid thread-spawn overhead.
+//! scoped thread via `chunks_mut` — data-race free by construction, and
+//! bitwise independent of the split because every `C` element's update
+//! sequence is confined to its own band. Small problems stay serial to
+//! avoid thread-spawn overhead.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Rows per register tile (microkernel height).
+pub(crate) const MR: usize = 6;
+/// Columns per register tile (microkernel width; two 8-lane AVX2 vectors).
+pub(crate) const NR: usize = 16;
+/// Rows of packed A per cache block.
+const MC: usize = 48;
+
+/// GEMM kernel selection, settable per process via the `KAISA_GEMM_KERNEL`
+/// environment variable (`auto` | `blocked` | `naive`), [`set_gemm_kernel`],
+/// or the `gemm_kernel` config knob in `kaisa-core`.
+///
+/// Both kernels produce bitwise-identical results (property-tested); the
+/// selection only trades packing overhead against microkernel throughput,
+/// so flipping it never perturbs the training trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmKernel {
+    /// Blocked microkernels for shapes past the packing break-even point,
+    /// naive loops below it (a pure function of the shape, so the choice is
+    /// deterministic across ranks and runs).
+    #[default]
+    Auto,
+    /// Always the packed/blocked microkernel path.
+    Blocked,
+    /// Always the original reference loops (the property-test oracle).
+    Naive,
+}
+
+impl GemmKernel {
+    /// Stable lowercase name (the `KAISA_GEMM_KERNEL` vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GemmKernel::Auto => "auto",
+            GemmKernel::Blocked => "blocked",
+            GemmKernel::Naive => "naive",
+        }
+    }
+}
+
+impl std::fmt::Display for GemmKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for GemmKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(GemmKernel::Auto),
+            "blocked" => Ok(GemmKernel::Blocked),
+            "naive" => Ok(GemmKernel::Naive),
+            other => Err(format!("unknown GEMM kernel '{other}' (auto|blocked|naive)")),
+        }
+    }
+}
+
+/// Process-wide programmatic override; 0 = unset (fall back to the env).
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_kernel() -> GemmKernel {
+    static ENV: OnceLock<GemmKernel> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("KAISA_GEMM_KERNEL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(GemmKernel::Auto)
+    })
+}
+
+/// Override the process-wide GEMM kernel selection (wins over the
+/// `KAISA_GEMM_KERNEL` environment variable).
+pub fn set_gemm_kernel(kernel: GemmKernel) {
+    let code = match kernel {
+        GemmKernel::Auto => 1,
+        GemmKernel::Blocked => 2,
+        GemmKernel::Naive => 3,
+    };
+    KERNEL_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// The currently selected GEMM kernel: the last [`set_gemm_kernel`] value,
+/// else `KAISA_GEMM_KERNEL`, else [`GemmKernel::Auto`].
+pub fn gemm_kernel() -> GemmKernel {
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        1 => GemmKernel::Auto,
+        2 => GemmKernel::Blocked,
+        3 => GemmKernel::Naive,
+        _ => env_kernel(),
+    }
+}
 
 /// Below this many multiply-adds the serial kernel wins.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Below this many multiply-adds `Auto` keeps the naive loops: the packed
+/// panels and tile staging cost more than they save on tiny operands.
+const BLOCKED_THRESHOLD: usize = 16 * 16 * 16;
+
+fn use_blocked(kernel: GemmKernel, m: usize, k: usize, n: usize) -> bool {
+    match kernel {
+        GemmKernel::Naive => false,
+        GemmKernel::Blocked => true,
+        GemmKernel::Auto => m * n * k >= BLOCKED_THRESHOLD,
+    }
+}
 
 fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Rows of `C` handed to each worker thread.
+/// Rows of `C` handed to each worker thread (naive path).
 fn row_band(m: usize) -> usize {
     (m / (num_threads() * 4)).max(4)
+}
+
+/// Rows of `C` per worker thread on the blocked path: a multiple of `MR` so
+/// every band but the last is made of full microkernel tiles.
+fn blocked_band(m: usize) -> usize {
+    let per = m.div_ceil(num_threads() * 2).max(MR);
+    per.div_ceil(MR) * MR
 }
 
 /// Run `kernel(band_index, c_band)` for each `band * n`-element chunk of `c`
@@ -35,13 +168,46 @@ where
     });
 }
 
+/// Operand layouts the blocked path understands; each maps a logical
+/// `A[i, kk] * B[kk, j]` access onto the caller's storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// `A` is `[m x k]`, `B` is `[k x n]`; accumulates into existing `C`.
+    Nn,
+    /// `A` is stored `[k x m]` (logical `Aᵀ·B`); accumulates into `C`.
+    Tn,
+    /// `B` is stored `[n x k]` (logical `A·Bᵀ`); sums into a zeroed local
+    /// accumulator first, then adds once into `C` — matching the naive
+    /// dot-product kernel's association.
+    Nt,
+}
+
 /// `C[m x n] = A[m x k] · B[k x n]`, all row-major. `c` must be zeroed by the
 /// caller (the kernels accumulate).
 pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nn_with(gemm_kernel(), m, k, n, a, b, c);
+}
+
+/// `gemm_nn` with an explicit kernel selection (benchmarks and the
+/// property suite pin both paths without touching the process-wide knob).
+pub fn gemm_nn_with(
+    kernel: GemmKernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if m * n * k >= PAR_THRESHOLD && m > 1 {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if use_blocked(kernel, m, k, n) {
+        blocked_gemm(Layout::Nn, m, k, n, a, b, c);
+    } else if m * n * k >= PAR_THRESHOLD && m > 1 {
         let band = row_band(m);
         par_row_bands(c, band, n, |band_idx, c_band| {
             let r0 = band_idx * band;
@@ -55,14 +221,13 @@ pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
 
 fn gemm_nn_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     // i-k-j loop order: unit-stride access on both B and C rows, which the
-    // auto-vectorizer handles well.
+    // auto-vectorizer handles well. Every `kk` term is accumulated — a zero
+    // `A[i, kk]` is not skipped, so NaN/Inf in `B` propagate per IEEE 754
+    // and the loop stays the bitwise oracle for the blocked path.
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
             let b_row = &b[kk * n..(kk + 1) * n];
             for (cj, &bj) in c_row.iter_mut().zip(b_row) {
                 *cj += aik * bj;
@@ -75,10 +240,28 @@ fn gemm_nn_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
 /// `m x k`), `B` is `[k x n]`. This is the factor-statistic kernel
 /// `A = aᵀ·a / batch` with `a` stored batch-major.
 pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_tn_with(gemm_kernel(), m, k, n, a, b, c);
+}
+
+/// `gemm_tn` with an explicit kernel selection.
+pub fn gemm_tn_with(
+    kernel: GemmKernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if m * n * k >= PAR_THRESHOLD && m > 1 {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if use_blocked(kernel, m, k, n) {
+        blocked_gemm(Layout::Tn, m, k, n, a, b, c);
+    } else if m * n * k >= PAR_THRESHOLD && m > 1 {
         let band = row_band(m);
         par_row_bands(c, band, n, |band_idx, c_band| {
             let r0 = band_idx * band;
@@ -102,15 +285,13 @@ fn gemm_tn_serial_range(
     c: &mut [f32],
 ) {
     // C[i, j] = sum_kk A[kk, i] * B[kk, j]; iterate kk outer so both A and B
-    // rows stream with unit stride.
+    // rows stream with unit stride. Zero `A[kk, i]` terms are accumulated,
+    // not skipped (IEEE NaN/Inf propagation; see `gemm_nn_serial`).
     for kk in 0..k {
         let a_row = &a[kk * m..(kk + 1) * m];
         let b_row = &b[kk * n..(kk + 1) * n];
         for i in 0..rows {
             let aik = a_row[r0 + i];
-            if aik == 0.0 {
-                continue;
-            }
             let c_row = &mut c[i * n..(i + 1) * n];
             for (cj, &bj) in c_row.iter_mut().zip(b_row) {
                 *cj += aik * bj;
@@ -121,10 +302,28 @@ fn gemm_tn_serial_range(
 
 /// `C[m x n] = A · Bᵀ` where `A` is `[m x k]` and `B` is `[n x k]` row-major.
 pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_with(gemm_kernel(), m, k, n, a, b, c);
+}
+
+/// `gemm_nt` with an explicit kernel selection.
+pub fn gemm_nt_with(
+    kernel: GemmKernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    if m * n * k >= PAR_THRESHOLD && m > 1 {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if use_blocked(kernel, m, k, n) {
+        blocked_gemm(Layout::Nt, m, k, n, a, b, c);
+    } else if m * n * k >= PAR_THRESHOLD && m > 1 {
         let band = row_band(m);
         par_row_bands(c, band, n, |band_idx, c_band| {
             let r0 = band_idx * band;
@@ -152,6 +351,182 @@ fn gemm_nt_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
     }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked path: packed panels + register-tiled microkernel.
+// ---------------------------------------------------------------------------
+
+/// Pack `B` into `NR`-column panels, each laid out `[k][NR]` with
+/// zero-padded edge columns, so the microkernel streams both vectors of a
+/// row with unit stride regardless of the original layout.
+fn pack_b(layout: Layout, k: usize, n: usize, b: &[f32]) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut bp = vec![0.0f32; panels * k * NR];
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let nr = NR.min(n - j0);
+        let panel = &mut bp[jp * k * NR..(jp + 1) * k * NR];
+        match layout {
+            Layout::Nn | Layout::Tn => {
+                for kk in 0..k {
+                    let src = &b[kk * n + j0..kk * n + j0 + nr];
+                    panel[kk * NR..kk * NR + nr].copy_from_slice(src);
+                }
+            }
+            Layout::Nt => {
+                // B stored [n x k]: column j of the logical B is row j of
+                // the storage.
+                for jj in 0..nr {
+                    let col = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (kk, &v) in col.iter().enumerate() {
+                        panel[kk * NR + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+    bp
+}
+
+/// Pack rows `[r0, r0 + mc)` of the logical `A` into `MR`-row panels laid
+/// out `[k][MR]`, zero-padding the last panel's missing rows.
+fn pack_a(layout: Layout, r0: usize, mc: usize, m: usize, k: usize, a: &[f32], ap: &mut [f32]) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(ap.len() >= panels * k * MR);
+    ap[..panels * k * MR].fill(0.0);
+    for ip in 0..panels {
+        let i0 = ip * MR;
+        let mr = MR.min(mc - i0);
+        let panel = &mut ap[ip * k * MR..(ip + 1) * k * MR];
+        match layout {
+            Layout::Nn | Layout::Nt => {
+                for rr in 0..mr {
+                    let row = &a[(r0 + i0 + rr) * k..(r0 + i0 + rr + 1) * k];
+                    for (kk, &v) in row.iter().enumerate() {
+                        panel[kk * MR + rr] = v;
+                    }
+                }
+            }
+            Layout::Tn => {
+                // A stored [k x m]: logical A[i, kk] = a[kk * m + i].
+                for kk in 0..k {
+                    let a_row = &a[kk * m + r0 + i0..kk * m + r0 + i0 + mr];
+                    panel[kk * MR..kk * MR + mr].copy_from_slice(a_row);
+                }
+            }
+        }
+    }
+}
+
+/// Portable microkernel: identical per-element mul-then-add sequence to the
+/// AVX2 kernel (each lane is an independent IEEE operation either way).
+fn microkernel_portable(k: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
+    for kk in 0..k {
+        let a_col = &ap[kk * MR..kk * MR + MR];
+        let b_row = &bp[kk * NR..kk * NR + NR];
+        for (r, &ar) in a_col.iter().enumerate() {
+            let row = &mut acc[r * NR..(r + 1) * NR];
+            for (cv, &bv) in row.iter_mut().zip(b_row) {
+                *cv += ar * bv;
+            }
+        }
+    }
+}
+
+#[inline]
+fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_available() {
+        // SAFETY: `microkernel_6x16_avx2` is `#[target_feature(enable =
+        // "avx2")]`; `avx2_available()` just verified the CPU supports it.
+        unsafe { crate::simd::microkernel_6x16_avx2(k, ap, bp, acc) };
+        return;
+    }
+    microkernel_portable(k, ap, bp, acc);
+}
+
+/// Blocked GEMM driver: pack B once (shared read-only across row bands),
+/// then per band pack `MC`-row slabs of A and sweep register tiles.
+fn blocked_gemm(layout: Layout, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let bp = pack_b(layout, k, n, b);
+    if m * n * k >= PAR_THRESHOLD && m > 1 {
+        let band = blocked_band(m);
+        let bp = &bp;
+        par_row_bands(c, band, n, |band_idx, c_band| {
+            let r0 = band_idx * band;
+            let rows = c_band.len() / n;
+            blocked_rows(layout, r0, rows, m, k, n, a, bp, c_band);
+        });
+    } else {
+        blocked_rows(layout, 0, m, m, k, n, a, &bp, c);
+    }
+}
+
+/// Serial blocked kernel over `rows` rows of `C` starting at logical row
+/// `r0` (`c` is the band's slice). Stages each `MR x NR` tile of `C`
+/// through a contiguous accumulator so the microkernel sees unit stride and
+/// edge tiles are handled by zero padding.
+#[allow(clippy::too_many_arguments)]
+fn blocked_rows(
+    layout: Layout,
+    r0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+) {
+    let n_panels = n.div_ceil(NR);
+    let mut ap = vec![0.0f32; MC.min(rows).div_ceil(MR) * MR * k];
+    let mut tile = [0.0f32; MR * NR];
+    for ic in (0..rows).step_by(MC) {
+        let mc = MC.min(rows - ic);
+        let m_panels = mc.div_ceil(MR);
+        pack_a(layout, r0 + ic, mc, m, k, a, &mut ap[..m_panels * MR * k]);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let nr = NR.min(n - j0);
+            let b_panel = &bp[jp * k * NR..(jp + 1) * k * NR];
+            for ip in 0..m_panels {
+                let i0 = ip * MR;
+                let mr = MR.min(mc - i0);
+                let a_panel = &ap[ip * k * MR..(ip + 1) * k * MR];
+                let c0 = ic + i0;
+                match layout {
+                    Layout::Nn | Layout::Tn => {
+                        // Naive association: C is the running accumulator.
+                        // Stage the live C values into the tile (padding
+                        // lanes start at zero and are discarded).
+                        tile.fill(0.0);
+                        for rr in 0..mr {
+                            let src = &c[(c0 + rr) * n + j0..(c0 + rr) * n + j0 + nr];
+                            tile[rr * NR..rr * NR + nr].copy_from_slice(src);
+                        }
+                        microkernel(k, a_panel, b_panel, &mut tile);
+                        for rr in 0..mr {
+                            let dst = &mut c[(c0 + rr) * n + j0..(c0 + rr) * n + j0 + nr];
+                            dst.copy_from_slice(&tile[rr * NR..rr * NR + nr]);
+                        }
+                    }
+                    Layout::Nt => {
+                        // Naive association: a zeroed local accumulator is
+                        // summed over k, then added into C exactly once.
+                        tile.fill(0.0);
+                        microkernel(k, a_panel, b_panel, &mut tile);
+                        for rr in 0..mr {
+                            let dst = &mut c[(c0 + rr) * n + j0..(c0 + rr) * n + j0 + nr];
+                            for (cv, &tv) in dst.iter_mut().zip(&tile[rr * NR..rr * NR + nr]) {
+                                *cv += tv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,10 +544,32 @@ mod tests {
         c
     }
 
+    /// Shapes that stress every edge of the tiling: unit, sub-tile,
+    /// exact-tile, off-by-one around MR/NR/MC, tall/skinny/wide.
+    const ADVERSARIAL: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (2, 3, 5),
+        (5, 7, 15),
+        (6, 8, 16),
+        (7, 9, 17),
+        (12, 4, 32),
+        (17, 9, 23),
+        (47, 33, 15),
+        (48, 21, 16),
+        (49, 2, 31),
+        (53, 64, 97),
+        (96, 5, 3),
+        (3, 5, 96),
+        (200, 3, 2),
+        (2, 3, 200),
+        (64, 64, 64),
+        (80, 70, 90),
+    ];
+
     #[test]
     fn gemm_nn_matches_naive_over_shapes() {
         let mut rng = Rng::seed_from_u64(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 64, 64), (80, 70, 90)] {
+        for &(m, k, n) in ADVERSARIAL {
             let a = Matrix::randn(m, k, 1.0, &mut rng);
             let b = Matrix::randn(k, n, 1.0, &mut rng);
             let mut c = vec![0.0; m * n];
@@ -218,13 +615,71 @@ mod tests {
     }
 
     #[test]
+    fn blocked_bitwise_matches_naive_all_layouts() {
+        let mut rng = Rng::seed_from_u64(11);
+        for &(m, k, n) in ADVERSARIAL {
+            // nn
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let mut c_blocked = vec![0.5; m * n];
+            let mut c_naive = vec![0.5; m * n];
+            gemm_nn_with(GemmKernel::Blocked, m, k, n, a.as_slice(), b.as_slice(), &mut c_blocked);
+            gemm_nn_with(GemmKernel::Naive, m, k, n, a.as_slice(), b.as_slice(), &mut c_naive);
+            assert_eq!(c_blocked, c_naive, "nn ({m},{k},{n})");
+            // tn: A stored [k x m]
+            let a = Matrix::randn(k, m, 1.0, &mut rng);
+            let mut c_blocked = vec![-0.25; m * n];
+            let mut c_naive = vec![-0.25; m * n];
+            gemm_tn_with(GemmKernel::Blocked, m, k, n, a.as_slice(), b.as_slice(), &mut c_blocked);
+            gemm_tn_with(GemmKernel::Naive, m, k, n, a.as_slice(), b.as_slice(), &mut c_naive);
+            assert_eq!(c_blocked, c_naive, "tn ({m},{k},{n})");
+            // nt: B stored [n x k]
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(n, k, 1.0, &mut rng);
+            let mut c_blocked = vec![1.25; m * n];
+            let mut c_naive = vec![1.25; m * n];
+            gemm_nt_with(GemmKernel::Blocked, m, k, n, a.as_slice(), b.as_slice(), &mut c_blocked);
+            gemm_nt_with(GemmKernel::Naive, m, k, n, a.as_slice(), b.as_slice(), &mut c_naive);
+            assert_eq!(c_blocked, c_naive, "nt ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn nan_inf_propagate_through_zero_a_entries() {
+        // A zero in A must not suppress NaN/Inf coming from B: 0 * NaN and
+        // 0 * Inf are both NaN under IEEE 754, in every kernel.
+        let (m, k, n) = (2, 3, 2);
+        let a = vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0];
+        let mut b = vec![1.0; k * n];
+        b[2] = f32::NAN; // B[1, 0]
+        b[5] = f32::INFINITY; // B[2, 1]
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let mut c = vec![0.0; m * n];
+            gemm_nn_with(kernel, m, k, n, &a, &b, &mut c);
+            assert!(c[0].is_nan(), "{kernel}: 0*NaN must poison C[0,0]");
+            assert!(c[2].is_nan(), "{kernel}: all-zero A row still sees NaN");
+            assert!(c[3].is_nan(), "{kernel}: 0*Inf must poison C[1,1]");
+        }
+        // And the two kernels agree bitwise on the non-NaN lanes.
+        let mut c_b = vec![0.0; m * n];
+        let mut c_n = vec![0.0; m * n];
+        gemm_nn_with(GemmKernel::Blocked, m, k, n, &a, &b, &mut c_b);
+        gemm_nn_with(GemmKernel::Naive, m, k, n, &a, &b, &mut c_n);
+        for (x, y) in c_b.iter().zip(&c_n) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn accumulation_semantics() {
         // Kernels accumulate into C rather than overwriting.
-        let a = vec![1.0, 0.0, 0.0, 1.0];
-        let b = vec![2.0, 0.0, 0.0, 2.0];
-        let mut c = vec![1.0, 1.0, 1.0, 1.0];
-        gemm_nn(2, 2, 2, &a, &b, &mut c);
-        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let a = vec![1.0, 0.0, 0.0, 1.0];
+            let b = vec![2.0, 0.0, 0.0, 2.0];
+            let mut c = vec![1.0, 1.0, 1.0, 1.0];
+            gemm_nn_with(kernel, 2, 2, 2, &a, &b, &mut c);
+            assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0], "{kernel}");
+        }
     }
 
     #[test]
@@ -235,9 +690,39 @@ mod tests {
         let a = Matrix::randn(m, k, 1.0, &mut rng);
         let b = Matrix::randn(k, n, 1.0, &mut rng);
         let mut c_par = vec![0.0; m * n];
-        gemm_nn(m, k, n, a.as_slice(), b.as_slice(), &mut c_par);
+        gemm_nn_with(GemmKernel::Naive, m, k, n, a.as_slice(), b.as_slice(), &mut c_par);
         let mut c_serial = vec![0.0; m * n];
         gemm_nn_serial(m, k, n, a.as_slice(), b.as_slice(), &mut c_serial);
         assert_eq!(c_par, c_serial);
+    }
+
+    #[test]
+    fn blocked_panel_scheduler_matches_serial() {
+        // The banded blocked path (panel scheduler across scoped threads)
+        // must be bitwise identical to a single serial blocked sweep —
+        // every C element's k-ascending update chain lives in one band.
+        let mut rng = Rng::seed_from_u64(5);
+        let (m, k, n) = (97, 80, 73); // crosses PAR_THRESHOLD, ragged edges
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let mut c_par = vec![0.0; m * n];
+        gemm_nn_with(GemmKernel::Blocked, m, k, n, a.as_slice(), b.as_slice(), &mut c_par);
+        let bp = pack_b(Layout::Nn, k, n, b.as_slice());
+        let mut c_serial = vec![0.0; m * n];
+        blocked_rows(Layout::Nn, 0, m, m, k, n, a.as_slice(), &bp, &mut c_serial);
+        assert_eq!(c_par, c_serial);
+    }
+
+    #[test]
+    fn kernel_selection_parses_and_displays() {
+        for (s, k) in [
+            ("auto", GemmKernel::Auto),
+            ("BLOCKED", GemmKernel::Blocked),
+            ("naive", GemmKernel::Naive),
+        ] {
+            assert_eq!(s.parse::<GemmKernel>().unwrap(), k);
+        }
+        assert!("fast".parse::<GemmKernel>().is_err());
+        assert_eq!(GemmKernel::Blocked.to_string(), "blocked");
     }
 }

@@ -17,12 +17,17 @@
 //! * [`Rng`] — a deterministic xoshiro256++ generator so every experiment in
 //!   the reproduction is bit-reproducible across runs and rank counts.
 //!
-//! The crate is deliberately free of unsafe code and external BLAS: the goal
-//! of the reproduction is algorithmic fidelity and determinism, not peak
-//! FLOP/s.
+//! The crate carries no external BLAS dependency: determinism and
+//! algorithmic fidelity come first. `unsafe` is confined to the `simd`
+//! module (the `std::arch` AVX2 GEMM microkernel and binary16 quantizer,
+//! behind runtime feature detection), where every block carries a
+//! `SAFETY:` comment and is property-tested bitwise against the safe
+//! scalar reference kernels — which remain the permanent oracle and can be
+//! forced process-wide with `KAISA_GEMM_KERNEL=naive`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod f16;
 mod gemm;
@@ -32,9 +37,14 @@ mod matrix;
 pub mod ops;
 mod precision;
 mod rng;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 mod tensor4;
 
 pub use f16::F16;
+pub use gemm::{
+    gemm_kernel, gemm_nn_with, gemm_nt_with, gemm_tn_with, set_gemm_kernel, GemmKernel,
+};
 pub use im2col::{col2im, im2col, Conv2dGeom};
 pub use matrix::Matrix;
 pub use precision::Precision;

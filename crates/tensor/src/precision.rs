@@ -38,6 +38,15 @@ impl Precision {
     pub const fn is_half(self) -> bool {
         matches!(self, Precision::Fp16)
     }
+
+    /// Apply this precision's storage rounding to a slice in place: a no-op
+    /// for [`Precision::Fp32`], the (SIMD-accelerated) binary16 round-trip
+    /// of [`crate::f16::quantize_slice_f16`] for [`Precision::Fp16`].
+    pub fn quantize_slice(self, values: &mut [f32]) {
+        if self.is_half() {
+            crate::f16::quantize_slice_f16(values);
+        }
+    }
 }
 
 impl std::fmt::Display for Precision {

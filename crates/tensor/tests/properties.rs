@@ -1,11 +1,23 @@
 //! Property-based tests for the tensor kernels: algebraic identities that
 //! must hold for arbitrary shapes and values.
 
-use kaisa_tensor::{f16, Matrix, Rng, F16};
+use kaisa_tensor::{f16, gemm_nn_with, gemm_nt_with, gemm_tn_with, GemmKernel, Matrix, Rng, F16};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     (-1e4f32..1e4).prop_filter("finite", |v| v.is_finite())
+}
+
+/// Every f32 bit pattern — NaNs (all payloads), ±Inf, subnormals, -0.0 —
+/// so the SIMD quantizer is exercised on exactly the inputs where hardware
+/// conversions diverge from the software reference.
+fn any_bits_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.next_f32() - 0.5).collect()
 }
 
 fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -110,6 +122,62 @@ proptest! {
         let mut b = Rng::seed_from_u64(seed);
         for _ in 0..16 {
             prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_bitwise_matches_naive(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..70,
+        seed in any::<u64>(),
+        c0 in finite_f32(),
+    ) {
+        // The blocked SIMD path must be *bitwise* identical to the naive
+        // scalar oracle for every layout, shape, and initial-C value: same
+        // multiply/add count, same order, no FMA contraction.
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0x9e3779b97f4a7c15);
+        for (run, len_a, len_b) in [(0u8, m * k, k * n), (1, k * m, k * n), (2, m * k, n * k)] {
+            let a = &a[..len_a.min(a.len())];
+            let b = &b[..len_b.min(b.len())];
+            // tn stores A as k x m and nt stores B as n x k: same element
+            // counts, so the buffers above cover all three layouts.
+            let mut c_blocked = vec![c0; m * n];
+            let mut c_naive = c_blocked.clone();
+            match run {
+                0 => {
+                    gemm_nn_with(GemmKernel::Blocked, m, k, n, a, b, &mut c_blocked);
+                    gemm_nn_with(GemmKernel::Naive, m, k, n, a, b, &mut c_naive);
+                }
+                1 => {
+                    gemm_tn_with(GemmKernel::Blocked, m, k, n, a, b, &mut c_blocked);
+                    gemm_tn_with(GemmKernel::Naive, m, k, n, a, b, &mut c_naive);
+                }
+                _ => {
+                    gemm_nt_with(GemmKernel::Blocked, m, k, n, a, b, &mut c_blocked);
+                    gemm_nt_with(GemmKernel::Naive, m, k, n, a, b, &mut c_naive);
+                }
+            }
+            for (x, y) in c_blocked.iter().zip(&c_naive) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "layout run={} shape=({},{},{})", run, m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn f16_simd_quantize_matches_scalar(bits in prop::collection::vec(any_bits_f32(), 0..64)) {
+        // The AVX2 quantizer must reproduce the software binary16
+        // algorithm bit for bit on *every* input class — normals,
+        // subnormals, ±Inf, and NaNs with arbitrary payloads (where
+        // hardware F16C conversion would differ from the reference).
+        let mut simd = bits.clone();
+        let mut scalar = bits;
+        f16::quantize_slice_f16(&mut simd);
+        f16::quantize_slice_f16_scalar(&mut scalar);
+        for (i, (a, b)) in simd.iter().zip(&scalar).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "lane {}", i);
         }
     }
 
