@@ -9,6 +9,7 @@
 //! cargo run --release -p kaisa-bench --bin bench_report -- --strategy local-opt
 //! cargo run --release -p kaisa-bench --bin bench_report -- --comm-backend mutex
 //! cargo run --release -p kaisa-bench --bin bench_report -- --gemm-kernel naive
+//! cargo run --release -p kaisa-bench --bin bench_report -- --syrk off
 //! ```
 
 use std::time::Instant;
@@ -19,7 +20,7 @@ use kaisa_data::{Dataset, GaussianBlobs, ShardSampler};
 use kaisa_nn::models::Mlp;
 use kaisa_nn::Model;
 use kaisa_optim::{Optimizer, Sgd};
-use kaisa_tensor::{GemmKernel, Rng};
+use kaisa_tensor::{GemmKernel, Rng, SyrkMode};
 
 /// Benchmark scale knobs (`--quick` shrinks everything for CI).
 struct Scale {
@@ -217,6 +218,18 @@ fn main() {
         kaisa_tensor::set_gemm_kernel(kernel);
     }
     let gemm_kernel = kaisa_tensor::gemm_kernel();
+    // `--syrk` pins the factor-statistic SYRK fast path on or off for the
+    // whole run (otherwise `KAISA_SYRK` / the On default applies); like the
+    // kernel, the resolved mode is recorded per row.
+    if let Some(i) = args.iter().position(|a| a == "--syrk") {
+        let mode: SyrkMode = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--syrk needs a value (on|off)"))
+            .parse()
+            .unwrap_or_else(|e| panic!("{e}"));
+        kaisa_tensor::set_syrk_mode(mode);
+    }
+    let syrk = kaisa_tensor::syrk_mode();
     let scale = if quick {
         Scale { world: 4, epochs: 1, samples: 256, quick, strategy, comm_backend }
     } else {
@@ -224,13 +237,14 @@ fn main() {
     };
 
     eprintln!(
-        "bench_report: world={} epochs={} samples={} strategy={} comm={} gemm={} ({})",
+        "bench_report: world={} epochs={} samples={} strategy={} comm={} gemm={} syrk={} ({})",
         scale.world,
         scale.epochs,
         scale.samples,
         scale.strategy.map(|s| s.name()).unwrap_or("default"),
         scale.comm_backend,
         gemm_kernel,
+        syrk,
         if quick { "quick" } else { "full" }
     );
 
@@ -275,7 +289,7 @@ fn main() {
         depth_entries.push(format!(
             concat!(
                 "    {{\"depth\": {}, \"strategy\": \"{}\", \"comm_backend\": \"{}\", ",
-                "\"gemm_kernel\": \"{}\", \"wall_ms_per_step\": {:.6}, ",
+                "\"gemm_kernel\": \"{}\", \"syrk\": \"{}\", \"wall_ms_per_step\": {:.6}, ",
                 "\"kfac_ms_per_step\": {:.6}, \"modeled_amortized_ms\": {:.6}, ",
                 "\"peak_memory_bytes\": {}, \"peak_held_window_bytes\": {}}}"
             ),
@@ -283,6 +297,7 @@ fn main() {
             json_escape(stats.strategy),
             scale.comm_backend,
             gemm_kernel,
+            syrk,
             wall_ms,
             kfac_ms,
             amortized * 1e3,
@@ -314,9 +329,10 @@ fn main() {
             "  \"factor_update_freq\": 5,\n",
             "  \"network_model\": \"10GbE\",\n",
             "  \"gemm_kernel\": \"{}\",\n",
+            "  \"syrk\": \"{}\",\n",
             "  \"executors\": {{\n",
-            "    \"serial\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"gemm_kernel\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
-            "    \"pipelined\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"gemm_kernel\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
+            "    \"serial\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"gemm_kernel\": \"{}\", \"syrk\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}},\n",
+            "    \"pipelined\": {{\"strategy\": \"{}\", \"comm_backend\": \"{}\", \"gemm_kernel\": \"{}\", \"syrk\": \"{}\", \"wall_ms_per_step\": {:.6}, \"kfac_ms_per_step\": {:.6}, \"peak_memory_bytes\": {}}}\n",
             "  }},\n",
             "  \"curvature_freshness\": {{\n",
             "    \"epochs\": {},\n",
@@ -332,15 +348,18 @@ fn main() {
         scale.world,
         scale.comm_backend,
         gemm_kernel,
+        syrk,
         json_escape(serial.strategy),
         scale.comm_backend,
         gemm_kernel,
+        syrk,
         serial_wall,
         serial_kfac,
         serial.peak_memory_bytes,
         json_escape(pipelined.strategy),
         scale.comm_backend,
         gemm_kernel,
+        syrk,
         pipelined_wall,
         pipelined_kfac,
         pipelined.peak_memory_bytes,

@@ -21,6 +21,10 @@
 //!   blocked path must never be a regression anywhere; or
 //! * blocked `nn` fails to clear [`SPEEDUP_FLOOR`]× naive at the flagship
 //!   512³ f32 shape — the whole point of the SIMD microkernel; or
+//! * the SYRK factor-statistic kernel drops below `gemm_tn` past the same
+//!   noise margin on any measured `(m, k)` Gram cell, or fails to clear
+//!   [`SYRK_SPEEDUP_FLOOR`]× at the flagship 1024², k=4096 shape — the
+//!   triangular half-flops saving must actually show up; or
 //! * the batched eigensolve path regresses past [`EIG_TOLERANCE`] above
 //!   the serial per-call loop on the same factor set (scratch reuse means
 //!   it should win or tie even on one core).
@@ -29,7 +33,8 @@ use std::time::Instant;
 
 use kaisa_linalg::{sym_eig, sym_eig_batch_timed};
 use kaisa_tensor::{
-    gemm_nn_with, gemm_nt_with, gemm_tn_with, set_gemm_kernel, GemmKernel, Matrix, Rng,
+    gemm_nn_with, gemm_nt_with, gemm_tn_with, set_gemm_kernel, syrk_tn_with, GemmKernel, Matrix,
+    Rng,
 };
 
 /// Measured trials per cell; best is kept (each trial is a complete
@@ -47,6 +52,13 @@ const FLOOR_SHAPE: (usize, usize, usize) = (512, 512, 512);
 /// Noise margin for the batched-eigensolve gate (batched must not exceed
 /// serial by more than this fraction).
 const EIG_TOLERANCE: f64 = 0.25;
+/// Required syrk/gemm_tn speedup at the flagship Gram shape — conservative
+/// versus the theoretical ~2× flop halving (packing and the mirror are not
+/// halved), but far above noise.
+const SYRK_SPEEDUP_FLOOR: f64 = 1.3;
+/// The flagship syrk gate shape `(m, k)`: a 1024² factor from 4096 patch
+/// rows, the K-FAC conv-statistic regime the fast path exists for.
+const SYRK_FLOOR_SHAPE: (usize, usize) = (1024, 4096);
 
 #[derive(Clone, Copy, PartialEq)]
 enum Layout {
@@ -146,6 +158,53 @@ fn measure_gemm(layout: Layout, m: usize, k: usize, n: usize) -> (f64, f64) {
         }
     }
     (blocked, naive)
+}
+
+/// Measure one `(m, k)` Gram cell — `C = AᵀA` via the SYRK fast path vs
+/// the full `gemm_tn` — interleaved best-of-[`TRIALS`], both on the
+/// blocked kernel (the production dispatch at these shapes). GFLOP/s are
+/// *full-GEMM-equivalent* (`2·m²·k`) for both, so the reported speedup is
+/// exactly the wall-time ratio and >1 means the triangular saving is real.
+fn measure_syrk(m: usize, k: usize) -> (f64, f64) {
+    let mut rng = Rng::seed_from_u64(44);
+    let a: Vec<f32> = (0..k * m).map(|_| rng.next_f32() - 0.5).collect();
+    let mut c = vec![0.0f32; m * m];
+    let flops = 2.0 * m as f64 * m as f64 * k as f64;
+    let iters = (WINDOW_FLOPS / flops).ceil().max(1.0) as usize;
+
+    let syrk_trial = |c: &mut Vec<f32>| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            c.fill(0.0);
+            syrk_tn_with(GemmKernel::Blocked, m, k, &a, c);
+        }
+        flops * iters as f64 / start.elapsed().as_secs_f64() / 1.0e9
+    };
+    let gemm_trial = |c: &mut Vec<f32>| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            c.fill(0.0);
+            gemm_tn_with(GemmKernel::Blocked, m, k, m, &a, &a, c);
+        }
+        flops * iters as f64 / start.elapsed().as_secs_f64() / 1.0e9
+    };
+
+    // Warm both paths (page-faults the buffers, settles detection).
+    syrk_tn_with(GemmKernel::Blocked, m, k, &a, &mut c);
+    c.fill(0.0);
+    gemm_tn_with(GemmKernel::Blocked, m, k, m, &a, &a, &mut c);
+
+    let (mut syrk, mut gemm) = (0.0f64, 0.0f64);
+    for t in 0..TRIALS {
+        if t % 2 == 0 {
+            syrk = syrk.max(syrk_trial(&mut c));
+            gemm = gemm.max(gemm_trial(&mut c));
+        } else {
+            gemm = gemm.max(gemm_trial(&mut c));
+            syrk = syrk.max(syrk_trial(&mut c));
+        }
+    }
+    (syrk, gemm)
 }
 
 fn random_spd(n: usize, rng: &mut Rng) -> Matrix {
@@ -266,6 +325,37 @@ fn main() {
         }
     }
 
+    // SYRK cells: `(m, k)` Gram shapes from the factor-statistic capture
+    // path. The flagship 1024²/4096 cell always runs; full mode adds a
+    // linear-layer-sized cell, a small conv cell, and a mid conv cell.
+    let syrk_shapes: Vec<(usize, usize)> = if quick {
+        vec![(256, 1024), SYRK_FLOOR_SHAPE]
+    } else {
+        vec![(96, 600), (256, 1024), (512, 2048), SYRK_FLOOR_SHAPE]
+    };
+    let mut syrk_rows = Vec::new();
+    for &(m, k) in &syrk_shapes {
+        let (syrk, gemm) = measure_syrk(m, k);
+        let speedup = syrk / gemm;
+        eprintln!(
+            "syrk    {m:>4}x{m:>4} k={k:<5} syrk {syrk:>8.2} GF/s | gemm_tn {gemm:>7.2} GF/s | {speedup:>5.2}x"
+        );
+        if syrk < gemm * (1.0 - GATE_TOLERANCE) {
+            gate_failures.push(format!(
+                "syrk {m}x{m} k={k}: syrk {syrk:.2} GF/s < gemm_tn {gemm:.2} GF/s - {:.0}% margin",
+                GATE_TOLERANCE * 100.0
+            ));
+        }
+        if (m, k) == SYRK_FLOOR_SHAPE && speedup < SYRK_SPEEDUP_FLOOR {
+            gate_failures.push(format!(
+                "syrk {m}x{m} k={k}: syrk/gemm_tn {speedup:.2}x < {SYRK_SPEEDUP_FLOOR}x floor"
+            ));
+        }
+        syrk_rows.push(format!(
+            "    {{\"m\": {m}, \"k\": {k}, \"syrk_gflops\": {syrk:.3}, \"gemm_tn_gflops\": {gemm:.3}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
     let (serial_ms, batched_ms) = measure_eig(&eig_sizes);
     let eig_speedup = serial_ms / batched_ms;
     eprintln!(
@@ -287,13 +377,17 @@ fn main() {
             "  \"quick\": {},\n",
             "  \"trials\": {},\n",
             "  \"gemm\": [\n{}\n  ],\n",
+            "  \"syrk\": [\n{}\n  ],\n",
             "  \"eigensolve\": {{\"sizes\": {:?}, \"serial_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.3}}},\n",
-            "  \"gate\": {{\"tolerance\": {}, \"speedup_floor\": {}, \"floor_shape\": [{}, {}, {}], \"eig_tolerance\": {}, \"enforced\": {}, \"passed\": {}, \"failures\": [{}]}}\n",
+            "  \"gate\": {{\"tolerance\": {}, \"speedup_floor\": {}, \"floor_shape\": [{}, {}, {}], ",
+            "\"syrk_speedup_floor\": {}, \"syrk_floor_shape\": [{}, {}], ",
+            "\"eig_tolerance\": {}, \"enforced\": {}, \"passed\": {}, \"failures\": [{}]}}\n",
             "}}\n"
         ),
         quick,
         TRIALS,
         rows.join(",\n"),
+        syrk_rows.join(",\n"),
         eig_sizes,
         serial_ms,
         batched_ms,
@@ -303,6 +397,9 @@ fn main() {
         FLOOR_SHAPE.0,
         FLOOR_SHAPE.1,
         FLOOR_SHAPE.2,
+        SYRK_SPEEDUP_FLOOR,
+        SYRK_FLOOR_SHAPE.0,
+        SYRK_FLOOR_SHAPE.1,
         EIG_TOLERANCE,
         !no_gate,
         gate_passed,

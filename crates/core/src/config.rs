@@ -1,7 +1,7 @@
 //! K-FAC preconditioner configuration.
 
 use kaisa_comm::ClusterNetwork;
-use kaisa_tensor::{GemmKernel, Precision};
+use kaisa_tensor::{GemmKernel, Precision, SyrkMode};
 
 use crate::{AssignmentStrategy, DistStrategy};
 
@@ -146,6 +146,16 @@ pub struct KfacConfig {
     /// is purely observability/performance. Note it is global to the
     /// process, not scoped to one `Kfac` instance.
     pub gemm_kernel: Option<GemmKernel>,
+    /// Process-wide SYRK mode applied at [`crate::Kfac::new`]
+    /// ([`kaisa_tensor::set_syrk_mode`]). `None` (default) leaves the
+    /// `KAISA_SYRK` environment selection (or `on`) in place. `On` routes
+    /// factor-statistic Gram products (`aᵀa`, `gᵀg`) through the
+    /// symmetric-rank-k fast path (lower triangle + exact mirror, half the
+    /// multiply-adds) and enables streamed chunked-im2col conv capture;
+    /// `Off` restores the full-GEMM path. The two are bitwise identical,
+    /// so the knob never perturbs the training trajectory. Like
+    /// `gemm_kernel`, it is global to the process.
+    pub syrk: Option<SyrkMode>,
 }
 
 impl Default for KfacConfig {
@@ -173,6 +183,7 @@ impl Default for KfacConfig {
             runtime_stall_timeout_ms: 5000,
             eig_batch: 0,
             gemm_kernel: None,
+            syrk: None,
         }
     }
 }
@@ -372,6 +383,13 @@ impl KfacConfigBuilder {
         self
     }
 
+    /// Pin the process-wide SYRK mode at `Kfac::new` time (`On` and `Off`
+    /// are bitwise interchangeable; `Off` is the full-GEMM oracle lane).
+    pub fn syrk(mut self, mode: SyrkMode) -> Self {
+        self.cfg.syrk = Some(mode);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> KfacConfig {
         self.cfg.validate();
@@ -440,12 +458,18 @@ mod tests {
 
     #[test]
     fn kernel_knobs_roundtrip() {
-        let cfg = KfacConfig::builder().eig_batch(4).gemm_kernel(GemmKernel::Naive).build();
+        let cfg = KfacConfig::builder()
+            .eig_batch(4)
+            .gemm_kernel(GemmKernel::Naive)
+            .syrk(SyrkMode::Off)
+            .build();
         assert_eq!(cfg.eig_batch, 4);
         assert_eq!(cfg.gemm_kernel, Some(GemmKernel::Naive));
+        assert_eq!(cfg.syrk, Some(SyrkMode::Off));
         let default = KfacConfig::default();
         assert_eq!(default.eig_batch, 0);
         assert_eq!(default.gemm_kernel, None);
+        assert_eq!(default.syrk, None);
     }
 
     #[test]

@@ -32,16 +32,22 @@ pub enum MemoryCategory {
     /// and shard buffers a depth-D runtime holds for deferred factor
     /// completes until the window drains them (`cross_iter_depth > 1`).
     HeldWindows,
+    /// Persistent per-layer streamed-capture chunk buffers: the bounded
+    /// `chunk x a_dim` im2col scratch conv layers reuse across factor
+    /// updates on the SYRK fast path (replacing the full patch-matrix
+    /// materialization the pre-SYRK capture performed).
+    CaptureScratch,
 }
 
 impl MemoryCategory {
     /// Every category, in display order.
-    pub const ALL: [MemoryCategory; 5] = [
+    pub const ALL: [MemoryCategory; 6] = [
         MemoryCategory::Factors,
         MemoryCategory::Eigens,
         MemoryCategory::PackedStaging,
         MemoryCategory::PrecondGrads,
         MemoryCategory::HeldWindows,
+        MemoryCategory::CaptureScratch,
     ];
 
     /// Human-readable category name (figure/table labels).
@@ -52,6 +58,7 @@ impl MemoryCategory {
             MemoryCategory::PackedStaging => "packed staging",
             MemoryCategory::PrecondGrads => "precond grads",
             MemoryCategory::HeldWindows => "held windows",
+            MemoryCategory::CaptureScratch => "capture scratch",
         }
     }
 
@@ -62,6 +69,7 @@ impl MemoryCategory {
             MemoryCategory::PackedStaging => 2,
             MemoryCategory::PrecondGrads => 3,
             MemoryCategory::HeldWindows => 4,
+            MemoryCategory::CaptureScratch => 5,
         }
     }
 }
@@ -74,8 +82,8 @@ impl MemoryCategory {
 /// factor a shard-resident eigendecomposition materializes and drops).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryMeter {
-    current: [usize; 5],
-    peak: [usize; 5],
+    current: [usize; 6],
+    peak: [usize; 6],
 }
 
 impl MemoryMeter {

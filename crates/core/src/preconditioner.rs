@@ -115,6 +115,11 @@ impl Kfac {
             // inside model forward/backward too, not just inside K-FAC).
             kaisa_tensor::set_gemm_kernel(kernel);
         }
+        if let Some(mode) = cfg.syrk {
+            // Same scope as the GEMM kernel: capture runs inside model
+            // forward/backward, so the SYRK routing must be uniform too.
+            kaisa_tensor::set_syrk_mode(mode);
+        }
         let mut dims = Vec::new();
         let mut names = Vec::new();
         for layer in model.kfac_layers() {
@@ -283,6 +288,14 @@ impl Kfac {
             .set(MemoryCategory::PackedStaging, self.staging.resident_bytes(p.bytes_per_element()));
     }
 
+    /// Refresh the meter's capture-scratch residency from the layers'
+    /// persistent streamed-im2col chunk buffers; called wherever the
+    /// executor already holds the layer list.
+    pub(crate) fn note_capture_residency(&mut self, layers: &[&mut dyn kaisa_nn::KfacAble]) {
+        let bytes = layers.iter().map(|l| l.capture_scratch_bytes()).sum();
+        self.mem.set(MemoryCategory::CaptureScratch, bytes);
+    }
+
     /// Record the transient square-factor materializations this rank's
     /// decomposition work for layer `i` is about to perform on
     /// shard-resident state (a no-op when the squares are dense-resident).
@@ -408,6 +421,7 @@ impl Kfac {
         let inv_step = self.is_inv_update_step();
         let mut layers = model.kfac_layers();
         assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
+        self.note_capture_residency(&layers);
 
         // The one strategy dispatch: every executor consumes the resolved
         // `StrategyPlan`'s factor-reduction mode instead of re-deriving the

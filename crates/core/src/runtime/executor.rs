@@ -481,6 +481,7 @@ impl Kfac {
         self.note_window_residency();
         let mut layers = model.kfac_layers();
         assert_eq!(layers.len(), self.states.len(), "layer set changed after registration");
+        self.note_capture_residency(&layers);
         let RuntimeStep { mut sched, kinds, mut ctx, window_index, iteration } =
             self.build_runtime_step();
         sched.run(|id| self.run_task(&kinds[id], &mut layers, comm, &mut ctx, 0.0));

@@ -74,7 +74,7 @@ impl KfacCapture {
         }
         match self.mode {
             CaptureMode::Accumulate => {
-                let mut contrib = a.matmul_tn(a);
+                let mut contrib = a.gram_tn();
                 contrib.scale(1.0 / n_samples as f32);
                 match self.a_stat.as_mut() {
                     Some(s) => s.add_assign(&contrib),
@@ -90,6 +90,30 @@ impl KfacCapture {
         self.batches += 1;
     }
 
+    /// Record a pre-computed `aᵀa` contribution (unscaled) for `n_samples`
+    /// samples — the streamed conv capture path, which accumulates SYRK
+    /// contributions chunk-by-chunk without materializing the full patch
+    /// matrix. Only meaningful in [`CaptureMode::Accumulate`]; the chunked
+    /// sum is bitwise identical to [`record_forward`](Self::record_forward)
+    /// on the full matrix because the chunks partition the row dimension in
+    /// ascending input order.
+    pub fn record_forward_stat(&mut self, mut contrib: Matrix, n_samples: usize) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert_eq!(
+            self.mode,
+            CaptureMode::Accumulate,
+            "record_forward_stat is an Accumulate-mode entry point"
+        );
+        contrib.scale(1.0 / n_samples as f32);
+        match self.a_stat.as_mut() {
+            Some(s) => s.add_assign(&contrib),
+            None => self.a_stat = Some(contrib),
+        }
+        self.batches += 1;
+    }
+
     /// Record the pre-activation gradient matrix `g` (rows × g_dim, gradients
     /// of the *mean* loss) for `n_samples` samples.
     pub fn record_backward(&mut self, g: &Matrix, n_samples: usize) {
@@ -99,7 +123,7 @@ impl KfacCapture {
         let rows = g.rows().max(1);
         match self.mode {
             CaptureMode::Accumulate => {
-                let mut contrib = g.matmul_tn(g);
+                let mut contrib = g.gram_tn();
                 contrib.scale((n_samples * n_samples) as f32 / rows as f32);
                 match self.g_stat.as_mut() {
                     Some(s) => s.add_assign(&contrib),
@@ -130,7 +154,7 @@ impl KfacCapture {
                 }
                 let mut a_stat: Option<Matrix> = None;
                 for (a, n) in self.raw_a.drain(..) {
-                    let mut contrib = a.matmul_tn(&a);
+                    let mut contrib = a.gram_tn();
                     contrib.scale(1.0 / n as f32);
                     match a_stat.as_mut() {
                         Some(s) => s.add_assign(&contrib),
@@ -140,7 +164,7 @@ impl KfacCapture {
                 let mut g_stat: Option<Matrix> = None;
                 for (g, n) in self.raw_g.drain(..) {
                     let rows = g.rows().max(1);
-                    let mut contrib = g.matmul_tn(&g);
+                    let mut contrib = g.gram_tn();
                     contrib.scale((n * n) as f32 / rows as f32);
                     match g_stat.as_mut() {
                         Some(s) => s.add_assign(&contrib),
@@ -198,6 +222,13 @@ pub trait KfacAble {
     /// Overwrite the layer gradient from a combined `g_dim x a_dim` matrix
     /// (the preconditioned gradient coming back from K-FAC).
     fn set_combined_grad(&mut self, grad: &Matrix);
+
+    /// Bytes of persistent per-layer capture scratch — the streamed-im2col
+    /// chunk buffer conv layers reuse between factor updates. Metered by
+    /// the preconditioner under its capture-scratch memory category.
+    fn capture_scratch_bytes(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +308,30 @@ mod tests {
         // Diagonals of second moments are nonnegative.
         for i in 0..7 {
             assert!(s.a_stat.get(i, i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn record_forward_stat_matches_record_forward_bitwise() {
+        // Streaming a pre-computed Gram contribution (the chunked conv
+        // path, here a single chunk) must be indistinguishable from
+        // recording the matrix itself.
+        let mut rng = Rng::seed_from_u64(64);
+        let mut whole = KfacCapture { enabled: true, ..Default::default() };
+        let mut streamed = KfacCapture { enabled: true, ..Default::default() };
+        for _ in 0..3 {
+            let a = Matrix::randn(12, 5, 1.0, &mut rng);
+            let g = Matrix::randn(12, 4, 1.0, &mut rng);
+            whole.record_forward(&a, 12);
+            whole.record_backward(&g, 12);
+            streamed.record_forward_stat(a.gram_tn(), 12);
+            streamed.record_backward(&g, 12);
+        }
+        let sw = whole.take_stats().unwrap();
+        let ss = streamed.take_stats().unwrap();
+        assert_eq!(sw.batches, ss.batches);
+        for (x, y) in sw.a_stat.as_slice().iter().zip(ss.a_stat.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

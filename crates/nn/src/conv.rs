@@ -6,9 +6,12 @@
 //! construction of Grosse & Martens that the paper's implementation uses for
 //! all convolutional layers of ResNet and U-Net.
 
-use kaisa_tensor::{col2im, im2col, init, Conv2dGeom, Matrix, Rng, Tensor4};
+use kaisa_tensor::{
+    col2im, im2col, im2col_rows, init, syrk_chunk_rows, syrk_mode, syrk_tn, Conv2dGeom, Matrix,
+    Rng, SyrkMode, Tensor4,
+};
 
-use crate::capture::{KfacAble, KfacCapture};
+use crate::capture::{CaptureMode, KfacAble, KfacCapture};
 
 /// A 2-D convolution layer with weight shape `(c_out, c_in·kh·kw)`.
 #[derive(Debug, Clone)]
@@ -31,6 +34,11 @@ pub struct Conv2d {
     c_out: usize,
     patch_cache: Option<Matrix>,
     in_shape: Option<(usize, usize, usize, usize)>,
+    /// Reused streamed-capture chunk buffer (`chunk x a_dim`): allocated on
+    /// the first factor update and kept across updates, so capture never
+    /// re-materializes (or copies, for the bias ones-column) the full patch
+    /// matrix.
+    capture_scratch: Option<Matrix>,
 }
 
 impl Conv2d {
@@ -59,6 +67,7 @@ impl Conv2d {
             c_out,
             patch_cache: None,
             in_shape: None,
+            capture_scratch: None,
         }
     }
 
@@ -94,7 +103,15 @@ impl Conv2d {
         }
         if train {
             if self.kfac.enabled {
-                if self.bias.is_some() {
+                if self.kfac.mode == CaptureMode::Accumulate && syrk_mode() == SyrkMode::On {
+                    // Streamed chunked im2col: accumulate aᵀa over bounded
+                    // row chunks through the reused scratch — never
+                    // materializing the (rows x a_dim) augmented matrix.
+                    // Chunks partition the rows in ascending input order,
+                    // so the sum is bitwise identical to the one-shot path.
+                    let contrib = self.streamed_a_contrib(x);
+                    self.kfac.record_forward_stat(contrib, n);
+                } else if self.bias.is_some() {
                     let aug = patches.append_ones_column();
                     self.kfac.record_forward(&aug, n);
                 } else {
@@ -164,6 +181,40 @@ impl Conv2d {
         col2im(&dpatches, n, c_in, h, w, &self.geom)
     }
 
+    /// Unscaled `aᵀa` over the (augmented) patch matrix of `x`, computed by
+    /// streaming im2col row chunks through `capture_scratch` and
+    /// accumulating SYRK contributions. The scratch holds `chunk x a_dim`
+    /// floats (`KAISA_SYRK_CHUNK` rows) with the bias ones-column written
+    /// once per allocation — `im2col_rows` only touches the patch columns.
+    fn streamed_a_contrib(&mut self, x: &Tensor4) -> Matrix {
+        let (n, _, h, w) = x.shape();
+        let (oh, ow) = self.geom.out_shape(h, w);
+        let rows = n * oh * ow;
+        let patch_len = self.weight.cols();
+        let a_dim = patch_len + usize::from(self.bias.is_some());
+        let chunk = syrk_chunk_rows().min(rows.max(1));
+        let fits = matches!(&self.capture_scratch, Some(s) if s.shape() == (chunk, a_dim));
+        if !fits {
+            let mut s = Matrix::zeros(chunk, a_dim);
+            if a_dim > patch_len {
+                for r in 0..chunk {
+                    s.row_mut(r)[patch_len] = 1.0;
+                }
+            }
+            self.capture_scratch = Some(s);
+        }
+        let scratch = self.capture_scratch.as_mut().expect("allocated above");
+        let mut c = Matrix::zeros(a_dim, a_dim);
+        let mut r0 = 0;
+        while r0 < rows {
+            let len = chunk.min(rows - r0);
+            im2col_rows(x, &self.geom, r0, len, scratch);
+            syrk_tn(a_dim, len, &scratch.as_slice()[..len * a_dim], c.as_mut_slice());
+            r0 += len;
+        }
+        c
+    }
+
     /// Zero the parameter gradients.
     pub fn zero_grad(&mut self) {
         self.grad_weight.fill_zero();
@@ -188,6 +239,10 @@ impl KfacAble for Conv2d {
 
     fn capture_mut(&mut self) -> &mut KfacCapture {
         &mut self.kfac
+    }
+
+    fn capture_scratch_bytes(&self) -> usize {
+        self.capture_scratch.as_ref().map_or(0, |m| m.numel() * std::mem::size_of::<f32>())
     }
 
     #[allow(clippy::needless_range_loop)]
@@ -295,6 +350,61 @@ mod tests {
         assert_eq!(conv.g_dim(), 32);
         let with_bias = Conv2d::new("kb", 16, 32, 3, 1, 1, true, &mut rng);
         assert_eq!(with_bias.a_dim(), 16 * 9 + 1);
+    }
+
+    #[test]
+    fn streamed_capture_matches_full_path_bitwise() {
+        // The streamed chunked-im2col SYRK capture must reproduce the
+        // one-shot augmented-patch-matrix path bit for bit, for every
+        // chunk size and with/without bias.
+        use kaisa_tensor::set_syrk_chunk_rows;
+        let mut rng = Rng::seed_from_u64(85);
+        let x = Tensor4::randn(2, 2, 5, 4, 1.0, &mut rng);
+        for has_bias in [true, false] {
+            let mut reference = Conv2d::new("ref", 2, 3, 3, 1, 1, has_bias, &mut rng);
+            reference.kfac.enabled = true;
+            // Reference: the pre-SYRK full path, computed explicitly.
+            let patches = im2col(&x, &reference.geom);
+            let aug = if has_bias { patches.append_ones_column() } else { patches };
+            let mut expect = aug.matmul_tn(&aug);
+            expect.scale(1.0 / 2.0);
+            for chunk in [1usize, 3, 16, 1 << 20] {
+                set_syrk_chunk_rows(chunk);
+                let mut conv = reference.clone();
+                let y = conv.forward(&x, true);
+                let g = Tensor4::randn(y.n(), y.c(), y.h(), y.w(), 0.1, &mut rng);
+                let _ = conv.backward(&g);
+                let stats = conv.kfac.take_stats().unwrap();
+                for (a, b) in stats.a_stat.as_slice().iter().zip(expect.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "bias={has_bias} chunk={chunk}");
+                }
+            }
+            set_syrk_chunk_rows(0);
+        }
+    }
+
+    #[test]
+    fn capture_scratch_is_reused_between_updates() {
+        // The streamed path must allocate its chunk buffer once and keep it
+        // across factor updates instead of re-materializing per call.
+        let mut rng = Rng::seed_from_u64(86);
+        let mut conv = Conv2d::new("scratch", 2, 3, 3, 1, 1, true, &mut rng);
+        conv.kfac.enabled = true;
+        let x = Tensor4::randn(2, 2, 4, 4, 1.0, &mut rng);
+        assert_eq!(conv.capture_scratch_bytes(), 0);
+        let _ = conv.forward(&x, true);
+        let after_first = conv.capture_scratch_bytes();
+        if kaisa_tensor::syrk_mode() == SyrkMode::On {
+            let rows = 2 * 4 * 4;
+            let chunk = syrk_chunk_rows().min(rows);
+            assert_eq!(after_first, chunk * conv.a_dim() * std::mem::size_of::<f32>());
+            let ptr_first = conv.capture_scratch.as_ref().unwrap().as_slice().as_ptr();
+            conv.patch_cache = None;
+            let _ = conv.forward(&x, true);
+            assert_eq!(conv.capture_scratch_bytes(), after_first);
+            let ptr_second = conv.capture_scratch.as_ref().unwrap().as_slice().as_ptr();
+            assert_eq!(ptr_first, ptr_second, "scratch must be reused, not reallocated");
+        }
     }
 
     #[test]

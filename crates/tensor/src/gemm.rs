@@ -36,7 +36,7 @@ pub(crate) const MR: usize = 6;
 /// Columns per register tile (microkernel width; two 8-lane AVX2 vectors).
 pub(crate) const NR: usize = 16;
 /// Rows of packed A per cache block.
-const MC: usize = 48;
+pub(crate) const MC: usize = 48;
 
 /// GEMM kernel selection, settable per process via the `KAISA_GEMM_KERNEL`
 /// environment variable (`auto` | `blocked` | `naive`), [`set_gemm_kernel`],
@@ -124,13 +124,13 @@ pub fn gemm_kernel() -> GemmKernel {
 }
 
 /// Below this many multiply-adds the serial kernel wins.
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
+pub(crate) const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Below this many multiply-adds `Auto` keeps the naive loops: the packed
 /// panels and tile staging cost more than they save on tiny operands.
 const BLOCKED_THRESHOLD: usize = 16 * 16 * 16;
 
-fn use_blocked(kernel: GemmKernel, m: usize, k: usize, n: usize) -> bool {
+pub(crate) fn use_blocked(kernel: GemmKernel, m: usize, k: usize, n: usize) -> bool {
     match kernel {
         GemmKernel::Naive => false,
         GemmKernel::Blocked => true,
@@ -138,7 +138,7 @@ fn use_blocked(kernel: GemmKernel, m: usize, k: usize, n: usize) -> bool {
     }
 }
 
-fn num_threads() -> usize {
+pub(crate) fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
@@ -171,7 +171,7 @@ where
 /// Operand layouts the blocked path understands; each maps a logical
 /// `A[i, kk] * B[kk, j]` access onto the caller's storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Layout {
+pub(crate) enum Layout {
     /// `A` is `[m x k]`, `B` is `[k x n]`; accumulates into existing `C`.
     Nn,
     /// `A` is stored `[k x m]` (logical `Aᵀ·B`); accumulates into `C`.
@@ -358,7 +358,7 @@ fn gemm_nt_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
 /// Pack `B` into `NR`-column panels, each laid out `[k][NR]` with
 /// zero-padded edge columns, so the microkernel streams both vectors of a
 /// row with unit stride regardless of the original layout.
-fn pack_b(layout: Layout, k: usize, n: usize, b: &[f32]) -> Vec<f32> {
+pub(crate) fn pack_b(layout: Layout, k: usize, n: usize, b: &[f32]) -> Vec<f32> {
     let panels = n.div_ceil(NR);
     let mut bp = vec![0.0f32; panels * k * NR];
     for jp in 0..panels {
@@ -389,7 +389,15 @@ fn pack_b(layout: Layout, k: usize, n: usize, b: &[f32]) -> Vec<f32> {
 
 /// Pack rows `[r0, r0 + mc)` of the logical `A` into `MR`-row panels laid
 /// out `[k][MR]`, zero-padding the last panel's missing rows.
-fn pack_a(layout: Layout, r0: usize, mc: usize, m: usize, k: usize, a: &[f32], ap: &mut [f32]) {
+pub(crate) fn pack_a(
+    layout: Layout,
+    r0: usize,
+    mc: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    ap: &mut [f32],
+) {
     let panels = mc.div_ceil(MR);
     debug_assert!(ap.len() >= panels * k * MR);
     ap[..panels * k * MR].fill(0.0);
@@ -433,7 +441,7 @@ fn microkernel_portable(k: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * N
 }
 
 #[inline]
-fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
+pub(crate) fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
     #[cfg(target_arch = "x86_64")]
     if crate::simd::avx2_available() {
         // SAFETY: `microkernel_6x16_avx2` is `#[target_feature(enable =

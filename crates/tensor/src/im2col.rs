@@ -50,32 +50,57 @@ pub fn im2col(input: &Tensor4, geom: &Conv2dGeom) -> Matrix {
     let (oh, ow) = geom.out_shape(h, w);
     let patch_len = c * geom.kh * geom.kw;
     let mut out = Matrix::zeros(n * oh * ow, patch_len);
+    im2col_rows(input, geom, 0, n * oh * ow, &mut out);
+    out
+}
 
-    for img in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row_idx = (img * oh + oy) * ow + ox;
-                let row = out.row_mut(row_idx);
-                let mut col = 0usize;
-                for ch in 0..c {
-                    for ky in 0..geom.kh {
-                        let iy = (oy * geom.sh + ky) as isize - geom.ph as isize;
-                        for kx in 0..geom.kw {
-                            let ix = (ox * geom.sw + kx) as isize - geom.pw as isize;
-                            row[col] =
-                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                    input.get(img, ch, iy as usize, ix as usize)
-                                } else {
-                                    0.0
-                                };
-                            col += 1;
-                        }
-                    }
+/// Lower a contiguous block of patch-matrix rows — rows
+/// `[row0, row0 + nrows)` of the full [`im2col`] output — into the first
+/// `nrows` rows of `out`. Only the leading `c * kh * kw` columns of each
+/// destination row are written (padding positions are written as explicit
+/// zeros, so a reused scratch needs no clearing); any extra columns —
+/// e.g. a bias ones-column appended by the caller — are left untouched.
+///
+/// This is the streamed-capture building block: the K-FAC conv `A` factor
+/// accumulates SYRK contributions chunk-by-chunk without ever
+/// materializing the full patch matrix.
+pub fn im2col_rows(
+    input: &Tensor4,
+    geom: &Conv2dGeom,
+    row0: usize,
+    nrows: usize,
+    out: &mut Matrix,
+) {
+    let (n, c, h, w) = input.shape();
+    let (oh, ow) = geom.out_shape(h, w);
+    let patch_len = c * geom.kh * geom.kw;
+    assert!(row0 + nrows <= n * oh * ow, "im2col_rows: row range out of bounds");
+    assert!(out.rows() >= nrows, "im2col_rows: scratch has too few rows");
+    assert!(out.cols() >= patch_len, "im2col_rows: scratch rows too short");
+
+    for r in 0..nrows {
+        let row_idx = row0 + r;
+        let ox = row_idx % ow;
+        let rest = row_idx / ow;
+        let oy = rest % oh;
+        let img = rest / oh;
+        let row = &mut out.row_mut(r)[..patch_len];
+        let mut col = 0usize;
+        for ch in 0..c {
+            for ky in 0..geom.kh {
+                let iy = (oy * geom.sh + ky) as isize - geom.ph as isize;
+                for kx in 0..geom.kw {
+                    let ix = (ox * geom.sw + kx) as isize - geom.pw as isize;
+                    row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                        input.get(img, ch, iy as usize, ix as usize)
+                    } else {
+                        0.0
+                    };
+                    col += 1;
                 }
             }
         }
     }
-    out
 }
 
 /// Scatter a patch-matrix gradient back to an NCHW input gradient
@@ -195,6 +220,39 @@ mod tests {
                         assert!((got - acc).abs() < 1e-4, "mismatch at {img},{co},{oy},{ox}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_rows_chunks_concatenate_to_full() {
+        // Streaming arbitrary row chunks through a reused (oversized,
+        // dirty) scratch reproduces the full patch matrix exactly.
+        let mut rng = Rng::seed_from_u64(13);
+        let x = Tensor4::randn(2, 3, 5, 4, 1.0, &mut rng);
+        let g = Conv2dGeom::square(3, 2, 1);
+        let full = im2col(&x, &g);
+        let rows = full.rows();
+        for chunk in [1usize, 3, 5, rows, rows + 7] {
+            // One extra column simulates the bias ones-column the capture
+            // path appends: it must survive every chunk untouched.
+            let mut scratch = Matrix::zeros(chunk.min(rows), full.cols() + 1);
+            for r in 0..scratch.rows() {
+                scratch.row_mut(r)[full.cols()] = 1.0;
+            }
+            let mut r0 = 0;
+            while r0 < rows {
+                let len = chunk.min(rows - r0);
+                im2col_rows(&x, &g, r0, len, &mut scratch);
+                for r in 0..len {
+                    assert_eq!(
+                        &scratch.row(r)[..full.cols()],
+                        full.row(r0 + r),
+                        "chunk={chunk} r0={r0} r={r}"
+                    );
+                    assert_eq!(scratch.row(r)[full.cols()], 1.0);
+                }
+                r0 += len;
             }
         }
     }

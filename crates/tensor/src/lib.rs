@@ -39,16 +39,20 @@ mod precision;
 mod rng;
 #[cfg(target_arch = "x86_64")]
 mod simd;
+mod syrk;
 mod tensor4;
 
 pub use f16::F16;
 pub use gemm::{
     gemm_kernel, gemm_nn_with, gemm_nt_with, gemm_tn_with, set_gemm_kernel, GemmKernel,
 };
-pub use im2col::{col2im, im2col, Conv2dGeom};
+pub use im2col::{col2im, im2col, im2col_rows, Conv2dGeom};
 pub use matrix::Matrix;
 pub use precision::Precision;
 pub use rng::Rng;
+pub use syrk::{
+    set_syrk_chunk_rows, set_syrk_mode, syrk_chunk_rows, syrk_mode, syrk_tn, syrk_tn_with, SyrkMode,
+};
 pub use tensor4::Tensor4;
 
 /// Convenience result alias for shape-checked tensor operations.

@@ -195,6 +195,24 @@ impl Matrix {
         out
     }
 
+    /// `selfᵀ @ self` — the K-FAC factor-statistic Gram product.
+    ///
+    /// Routes through the symmetric rank-k kernel ([`crate::syrk_tn`])
+    /// when the process-wide SYRK mode is on (the default): only the lower
+    /// triangle is computed and mirrored, bitwise identical to
+    /// `self.matmul_tn(self)`. With `KAISA_SYRK=off` it *is* exactly
+    /// `self.matmul_tn(self)`, so flipping the knob never perturbs the
+    /// training trajectory.
+    pub fn gram_tn(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        if crate::syrk_mode() == crate::SyrkMode::On {
+            crate::syrk_tn(self.cols, self.rows, &self.data, &mut out.data);
+        } else {
+            gemm::gemm_tn(self.cols, self.rows, self.cols, &self.data, &self.data, &mut out.data);
+        }
+        out
+    }
+
     /// `self @ otherᵀ` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(

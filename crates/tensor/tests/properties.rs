@@ -1,7 +1,9 @@
 //! Property-based tests for the tensor kernels: algebraic identities that
 //! must hold for arbitrary shapes and values.
 
-use kaisa_tensor::{f16, gemm_nn_with, gemm_nt_with, gemm_tn_with, GemmKernel, Matrix, Rng, F16};
+use kaisa_tensor::{
+    f16, gemm_nn_with, gemm_nt_with, gemm_tn_with, syrk_tn_with, GemmKernel, Matrix, Rng, F16,
+};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
@@ -162,6 +164,83 @@ proptest! {
             for (x, y) in c_blocked.iter().zip(&c_naive) {
                 prop_assert_eq!(x.to_bits(), y.to_bits(),
                     "layout run={} shape=({},{},{})", run, m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_bitwise_matches_gemm_tn(
+        m in 1usize..48,
+        k in 1usize..80,
+        seed in any::<u64>(),
+        chunk in 1usize..40,
+    ) {
+        // The SYRK fast path (lower triangle + mirror) must be *bitwise*
+        // identical to the full gemm_tn Gram product for every shape and
+        // kernel — one shot AND accumulated over arbitrary row chunks in
+        // input order (the streamed im2col capture pattern).
+        let a = fill(k * m, seed);
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let mut c_gemm = vec![0.0f32; m * m];
+            gemm_tn_with(kernel, m, k, m, &a, &a, &mut c_gemm);
+            let mut c_syrk = vec![0.0f32; m * m];
+            syrk_tn_with(kernel, m, k, &a, &mut c_syrk);
+            for (x, y) in c_syrk.iter().zip(&c_gemm) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} one-shot ({},{})", kernel, m, k);
+            }
+            let mut c_chunked = vec![0.0f32; m * m];
+            let mut r0 = 0;
+            while r0 < k {
+                let len = chunk.min(k - r0);
+                syrk_tn_with(kernel, m, len, &a[r0 * m..(r0 + len) * m], &mut c_chunked);
+                r0 += len;
+            }
+            for (x, y) in c_chunked.iter().zip(&c_gemm) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "{} chunk={} ({},{})", kernel, chunk, m, k);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_nan_inf_mirror_exactly(
+        m in 2usize..32,
+        k in 1usize..40,
+        seed in any::<u64>(),
+        pos_k in any::<u64>(),
+        pos_j in any::<u64>(),
+        special in 0usize..3,
+    ) {
+        // A NaN or ±Inf anywhere in A must propagate through the mirrored
+        // triangle exactly as through the full GEMM: bitwise-equal output
+        // (canonical specials make IEEE multiplication bitwise commutative)
+        // and an exactly bit-symmetric result.
+        let mut a = fill(k * m, seed);
+        let kk = (pos_k % k as u64) as usize;
+        let j = (pos_j % m as u64) as usize;
+        a[kk * m + j] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][special];
+        for kernel in [GemmKernel::Naive, GemmKernel::Blocked] {
+            let mut c_gemm = vec![0.0f32; m * m];
+            gemm_tn_with(kernel, m, k, m, &a, &a, &mut c_gemm);
+            let mut c_syrk = vec![0.0f32; m * m];
+            syrk_tn_with(kernel, m, k, &a, &mut c_syrk);
+            for (x, y) in c_syrk.iter().zip(&c_gemm) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs gemm", kernel);
+            }
+            // The poisoned column's row and column are non-finite…
+            for i in 0..m {
+                prop_assert!(!c_syrk[i * m + j].is_finite(), "col {} row {}", j, i);
+                prop_assert!(!c_syrk[j * m + i].is_finite(), "row {} col {}", j, i);
+            }
+            // …and the whole matrix is exactly symmetric at the bit level.
+            for i in 0..m {
+                for jj in 0..i {
+                    prop_assert_eq!(
+                        c_syrk[i * m + jj].to_bits(),
+                        c_syrk[jj * m + i].to_bits(),
+                        "{} asymmetry at ({},{})", kernel, i, jj
+                    );
+                }
             }
         }
     }
